@@ -1,0 +1,63 @@
+"""ABL2 — ablation: stealing granularity in nonmonotonic:dynamic.
+
+Design-choice study (DESIGN.md): a thief can take one chunk from the
+victim's tail (default, LLVM-like) or half the victim's remaining block
+(``steal_half``).  Expected shape: steal-half performs comparably on
+imbalanced work while issuing far fewer (more expensive) steal
+operations; on balanced work neither steals at all.
+"""
+
+from repro.core.config import RunConfig
+from repro.expt.replay import capture_log, replay_log
+from repro.sched.policies import NonMonotonicDynamic
+from repro.sched.simulator import simulate
+
+from _common import fmt_table, report
+
+
+def run_abl2():
+    cfg = RunConfig(kernel="mandel", variant="omp_tiled", dim=256, tile_w=8,
+                    tile_h=8, iterations=1, nthreads=4, arg="128")
+    log, model = capture_log(cfg)
+    works = next(e[1] for e in log if e[0] == "par")
+    costs = model.times_of(works)
+    out = {}
+    for label, policy in [
+        ("steal-one", NonMonotonicDynamic(1)),
+        ("steal-half", NonMonotonicDynamic(1, steal_half=True)),
+    ]:
+        res = simulate(costs, policy, 4, model=model)
+        out[label] = (res.makespan, res.steals)
+    # balanced workload control
+    uniform = [costs[0]] * len(costs)
+    for label, policy in [
+        ("steal-one (uniform)", NonMonotonicDynamic(1)),
+        ("steal-half (uniform)", NonMonotonicDynamic(1, steal_half=True)),
+    ]:
+        res = simulate(uniform, policy, 4, model=model)
+        out[label] = (res.makespan, res.steals)
+    return out
+
+
+def test_abl_stealing(benchmark):
+    out = benchmark.pedantic(run_abl2, rounds=1, iterations=1)
+    rows = [[k, f"{ms * 1e3:.3f}", st] for k, (ms, st) in out.items()]
+    table = fmt_table(["configuration", "makespan (ms)", "steals"], rows)
+    report(
+        "abl_stealing",
+        table + "\n\nfinding: steal-half issues far fewer steal operations "
+        "but loses makespan on mandel — a stolen half-block executes "
+        "atomically (it cannot be re-stolen), so a thief that grabs a "
+        "heavy half becomes the tail bottleneck.  Steal-one keeps the "
+        "tail fine-grained, which is why LLVM-style runtimes steal small."
+        "\nOn uniform work neither configuration steals at all.",
+    )
+
+    one_ms, one_steals = out["steal-one"]
+    half_ms, half_steals = out["steal-half"]
+    assert half_steals < one_steals / 2
+    # the trade-off is real but bounded: no catastrophic regression
+    assert half_ms < 2.0 * one_ms
+    assert half_ms > one_ms  # fine-grained stealing wins on irregular work
+    assert out["steal-one (uniform)"][1] == 0
+    assert out["steal-half (uniform)"][1] == 0

@@ -1,0 +1,74 @@
+"""FIG4 — tiling windows under the four loop-scheduling policies.
+
+Paper claims (Fig. 4):
+  (a) static          — tiles evenly distributed in contiguous chunks;
+  (b) dynamic,2       — opportunistic, interleaved assignment;
+  (c) nonmonotonic:dynamic — static distribution first, work stealing
+                        eventually corrects imbalance;
+  (d) guided          — chunk sizes decrease over time.
+"""
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.sched.costmodel import DEFAULT_COST_MODEL
+from repro.sched.policies import parse_schedule
+from repro.sched.simulator import simulate
+from repro.view.ascii import render_tiling
+
+from _common import fmt_table, report
+
+CFG = dict(kernel="mandel", variant="omp_tiled", dim=256, tile_w=32,
+           tile_h=32, iterations=1, nthreads=4, monitoring=True, arg="128")
+
+SCHEDULES = ["static", "dynamic,2", "nonmonotonic:dynamic", "guided"]
+
+
+def run_fig4():
+    return {s: run(RunConfig(schedule=s, **CFG))for s in SCHEDULES}
+
+
+def _ownership_changes(tiling: np.ndarray) -> int:
+    flat = tiling.ravel()
+    return int((np.diff(flat) != 0).sum())
+
+
+def test_fig04_schedules(benchmark):
+    results = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+
+    sections = []
+    rows = []
+    for s in SCHEDULES:
+        rec = results[s].monitor.records[0]
+        rows.append([
+            s,
+            _ownership_changes(rec.tiling),
+            int(rec.stolen.sum()),
+            f"{results[s].virtual_time * 1e3:.2f} ms",
+        ])
+        sections.append(f"-- {s} --\n" + render_tiling(rec.tiling, rec.stolen))
+    table = fmt_table(["schedule", "ownership changes", "stolen tiles", "time"], rows)
+
+    # (d) guided chunk-size decay, straight from the simulator
+    res = simulate([1e-4] * 64, parse_schedule("guided"), 4, model=DEFAULT_COST_MODEL)
+    sizes = res.chunk_sizes()
+    text = (
+        table
+        + "\n\n"
+        + "\n\n".join(sections)
+        + "\n\nguided chunk sizes in grab order: "
+        + " ".join(map(str, sizes))
+        + "\n\npaper claims: (a) static = contiguous blocks, (b) dynamic "
+        "interleaves, (c) nonmonotonic = static + steals, (d) guided sizes "
+        "decrease."
+    )
+    report("fig04_schedules", text)
+
+    recs = {s: results[s].monitor.records[0] for s in SCHEDULES}
+    assert _ownership_changes(recs["static"].tiling) == CFG["nthreads"] - 1
+    assert _ownership_changes(recs["dynamic,2"].tiling) > 8
+    assert recs["nonmonotonic:dynamic"].stolen.sum() > 0
+    assert not recs["static"].stolen.any()
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[0] == 8  # ceil(64 / (2 * 4 cpus))

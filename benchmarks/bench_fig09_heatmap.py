@@ -1,0 +1,62 @@
+"""FIG9 — heat-map mode of the tiling window (paper Fig. 9).
+
+Paper claims: with brightness proportional to task duration,
+  (a) mandel: the shape of the Mandelbrot set appears in the heat map;
+  (b) blur (optimized): border tiles are brighter (slower) than inner
+      tiles.
+"""
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.view.ascii import render_heatmap
+from repro.view.ppm import save_ppm
+from repro.view.thumbnail import heat_tile_image
+
+from _common import report, OUT_DIR
+
+
+def run_fig9():
+    mandel = run(RunConfig(kernel="mandel", variant="omp_tiled", dim=256,
+                           tile_w=16, tile_h=16, iterations=1, nthreads=4,
+                           monitoring=True, arg="128"))
+    blur = run(RunConfig(kernel="blur", variant="omp_tiled_opt", dim=256,
+                         tile_w=16, tile_h=16, iterations=1, nthreads=4,
+                         monitoring=True))
+    return mandel, blur
+
+
+def test_fig09_heatmap(benchmark):
+    mandel, blur = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    mheat = mandel.monitor.records[0].heat
+    bheat = blur.monitor.records[0].heat
+
+    # (a) heat correlates with in-set pixel density per tile
+    dark = (mandel.image >> 8) == 0
+    rows, cols = mheat.shape
+    frac = dark.reshape(rows, 256 // rows, cols, 256 // cols).mean(axis=(1, 3))
+    corr = float(np.corrcoef(frac.ravel(), mheat.ravel())[0, 1])
+
+    # (b) border vs inner brightness
+    border = np.concatenate([bheat[0], bheat[-1], bheat[1:-1, 0], bheat[1:-1, -1]])
+    inner = bheat[1:-1, 1:-1].ravel()
+    ratio = float(border.mean() / inner.mean())
+
+    save_ppm(heat_tile_image(mheat), OUT_DIR / "fig09a_mandel_heat.ppm")
+    save_ppm(heat_tile_image(bheat), OUT_DIR / "fig09b_blur_heat.ppm")
+
+    text = (
+        "(a) mandel heat map (brightness = task duration):\n"
+        + render_heatmap(mheat)
+        + f"\n    correlation(in-set density, tile duration) = {corr:.3f}"
+        + "\n\n(b) blur (optimized) heat map:\n"
+        + render_heatmap(bheat)
+        + f"\n    border/inner mean duration ratio = {ratio:.2f} "
+        + "(work model: 8x vectorization on inner tiles)"
+        + f"\n\nPPM images: {OUT_DIR}/fig09a_mandel_heat.ppm, fig09b_blur_heat.ppm"
+    )
+    report("fig09_heatmap", text)
+
+    assert corr > 0.6, "Mandelbrot shape not visible in heat map"
+    assert ratio > 4.0, "border tiles not distinctly slower than inner tiles"

@@ -1,0 +1,79 @@
+"""FIG13 — MPI+OpenMP lazy Game of Life in debug mode (paper Fig. 13).
+
+Paper claims, for
+``easypap --kernel life --variant mpi_omp --mpirun "-np 2" --monitoring --debug M``
+on the sparse diagonal-planers dataset:
+  * every MPI process pops its own monitoring windows (debug M);
+  * each process contains 4 threads and works on half of the image;
+  * only tiles located near the diagonals are computed (lazy evaluation).
+"""
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.view.ascii import render_tiling
+
+from _common import fmt_table, report
+
+CFG = RunConfig(kernel="life", variant="mpi_omp", dim=256, tile_w=16,
+                tile_h=16, iterations=8, nthreads=4, arg="diag", mpi_np=2,
+                monitoring=True, debug="M")
+
+
+def run_fig13():
+    return run(CFG)
+
+
+def test_fig13_mpi_life(benchmark):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+
+    # correctness first: distributed == sequential
+    ref = run(RunConfig(kernel="life", variant="seq", dim=256, tile_w=16,
+                        tile_h=16, iterations=8, arg="diag"))
+    assert np.array_equal(result.image, ref.image)
+
+    rows = []
+    tilings = []
+    half = 256 // 16 // 2
+    for rank, rr in enumerate(result.rank_results):
+        rec = rr.monitor.records[-1]
+        computed = np.argwhere(rec.tiling >= 0)
+        threads = len(set(np.unique(rec.tiling[rec.tiling >= 0]).tolist()))
+        comm = rr.context.mpi.comm.stats
+        rows.append([
+            rank,
+            threads,
+            f"rows {computed[:, 0].min()}..{computed[:, 0].max()}",
+            f"{rec.computed_fraction() * 100:.1f}%",
+            comm.messages_sent,
+            comm.bytes_sent,
+        ])
+        tilings.append((rank, rec))
+    table = fmt_table(
+        ["rank", "threads seen", "tile rows computed", "tiles computed",
+         "msgs sent", "bytes sent"],
+        rows,
+    )
+    maps = "\n\n".join(
+        f"rank {rank} tiling window ('.' = skipped by lazy evaluation):\n"
+        + render_tiling(rec.tiling)
+        for rank, rec in tilings
+    )
+    text = (
+        table + "\n\n" + maps
+        + "\n\npaper: each process has 4 threads, works on half the image, "
+        "and only diagonal tiles are computed."
+    )
+    report("fig13_mpi_life", text)
+
+    for rank, rr in enumerate(result.rank_results):
+        rec = rr.monitor.records[-1]
+        computed_rows = np.argwhere(rec.tiling >= 0)[:, 0]
+        if rank == 0:
+            assert computed_rows.max() < half
+        else:
+            assert computed_rows.min() >= half
+        assert rec.computed_fraction() < 0.5  # sparse: diagonals only
+        threads = set(np.unique(rec.tiling[rec.tiling >= 0]).tolist())
+        assert len(threads) == 4

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The Mandelbrot assignment (paper §III-A): finding the right schedule.
+
+Parallelizing mandel is trivial; making it *fast* is about load
+balancing.  This script walks the full experimental loop a student
+follows:
+
+1. watch the tiling window under each OpenMP scheduling policy
+   (paper Fig. 4);
+2. quantify the load imbalance each policy leaves (paper Fig. 3);
+3. run an expTools parameter sweep (paper Fig. 5) and plot speedup
+   curves with easyplot (paper Fig. 6).
+
+Run:  python examples/mandel_scheduling.py
+"""
+
+from repro import RunConfig, run
+from repro.expt.easyplot import build_plot
+from repro.expt.exptools import execute
+from repro.expt.plotting import render_svg, render_text
+from repro.view.ascii import render_tiling
+
+SCHEDULES = ["static", "dynamic,2", "guided", "nonmonotonic:dynamic"]
+
+
+def watch_tiling_windows() -> None:
+    print("=" * 60)
+    print("1. tiling windows per scheduling policy (Fig. 4)")
+    print("=" * 60)
+    for sched in SCHEDULES:
+        r = run(RunConfig(kernel="mandel", variant="omp_tiled", dim=256,
+                          tile_w=32, tile_h=32, iterations=1, nthreads=4,
+                          schedule=sched, monitoring=True, arg="128"))
+        rec = r.monitor.records[0]
+        print(f"\n--- schedule({sched}) ---  (capitals = stolen tiles)")
+        print(render_tiling(rec.tiling, rec.stolen))
+        loads = ", ".join(f"{v:.0f}%" for v in rec.load_percent())
+        print(f"per-CPU load: {loads}   imbalance: {r.monitor.load_imbalance():.2f}")
+
+
+def sweep_and_plot() -> None:
+    print()
+    print("=" * 60)
+    print("2. expTools sweep + easyplot speedup graphs (Figs. 5-6)")
+    print("=" * 60)
+    seq = run(RunConfig(kernel="mandel", variant="seq", dim=256,
+                        iterations=5, arg="128"))
+    csv = "dump/mandel_sweep.csv"
+    execute(
+        "easypap",
+        {"OMP_NUM_THREADS=": [2, 4, 6, 8], "OMP_SCHEDULE=": SCHEDULES},
+        {"--kernel ": ["mandel"], "--variant ": ["omp_tiled"],
+         "--size ": [256], "--grain ": [16, 32], "--iterations ": [5],
+         "--arg ": [128]},
+        runs=3,
+        csv_path=csv,
+        reuse_work=True,  # capture tile costs once, replay per config
+    )
+    from repro.expt.csvdb import read_rows
+
+    spec = build_plot(read_rows(csv), x="threads", col="tile_w", speedup=True,
+                      ref_time_us=seq.elapsed * 1e6)
+    print(render_text(spec))
+    svg = render_svg(spec).save("dump/mandel_speedup.svg")
+    print(f"\nspeedup figure written to {svg}")
+
+
+if __name__ == "__main__":
+    watch_tiling_windows()
+    sweep_and_plot()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run a kernel, parallelize it, look at the windows.
+
+This is the first EASYPAP lab session in script form:
+
+1. run the sequential Mandelbrot kernel;
+2. run the tiled OpenMP variant and compare completion times;
+3. open the monitoring windows (terminal renderings here) to see which
+   thread computed which tile and how busy each CPU was;
+4. dump the computed image as a PPM file.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RunConfig, run
+from repro.view.ascii import render_activity, render_tiling
+from repro.view.ppm import save_ppm
+
+
+def main() -> None:
+    # --- 1. sequential reference -----------------------------------------
+    seq = run(RunConfig(kernel="mandel", variant="seq", dim=256,
+                        iterations=5, arg="128"))
+    print("sequential :", seq.summary())
+
+    # --- 2. the parallel tiled variant ------------------------------------
+    par_cfg = RunConfig(kernel="mandel", variant="omp_tiled", dim=256,
+                        tile_w=16, tile_h=16, iterations=5, nthreads=4,
+                        schedule="dynamic", monitoring=True, arg="128")
+    par = run(par_cfg)
+    print("omp_tiled  :", par.summary())
+    print(f"speedup    : x{par.speedup_vs(seq):.2f} on {par_cfg.nthreads} virtual CPUs")
+
+    # --- 3. the monitoring windows ------------------------------------------
+    rec = par.monitor.records[-1]
+    print("\nTiling window (which thread computed which tile):")
+    print(render_tiling(rec.tiling))
+    print("\nActivity Monitor:")
+    print(render_activity(rec))
+
+    # --- 4. keep the picture ---------------------------------------------------
+    path = save_ppm(par.image, "dump/quickstart_mandel.ppm")
+    print(f"\nimage saved to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a Python reproduction of EASYPAP.
+
+EASYPAP (Lasserre, Namyst, Wacrenier, 2020) is a framework for learning
+parallel programming: students parallelize 2D image kernels and observe
+scheduling, load balance and task dependencies through monitoring
+windows, trace exploration (EASYVIEW) and experiment/plotting tools.
+
+Public surface (see README for the guided tour):
+
+* :mod:`repro.core` — kernels, variants, images, the run engine;
+* :mod:`repro.sched` — loop-scheduling policies and the deterministic
+  scheduling simulator (the OpenMP-team substitute);
+* :mod:`repro.omp` / :mod:`repro.mpi` / :mod:`repro.gpu` — the runtimes;
+* :mod:`repro.monitor` / :mod:`repro.trace` / :mod:`repro.view` — the
+  observation stack;
+* :mod:`repro.expt` — expTools-style sweeps and easyplot.
+"""
+
+from repro.core.config import RunConfig
+from repro.core.engine import RunResult, run
+from repro.core.kernel import Kernel, get_kernel, list_kernels, register_kernel, variant
+from repro.errors import EasypapError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "run",
+    "Kernel",
+    "get_kernel",
+    "list_kernels",
+    "register_kernel",
+    "variant",
+    "EasypapError",
+    "__version__",
+]

@@ -1,0 +1,252 @@
+"""The ``easypap`` command-line interface.
+
+Mirrors the paper's invocations::
+
+    easypap --kernel mandel --variant seq --size 2048
+    easypap --kernel mandel --variant omp_tiled --tile-size 16 --monitoring
+    easypap --kernel mandel --variant omp_tiled --tile-size 16 \
+            --iterations 50 --no-display
+    easypap --kernel life --variant mpi_omp --mpirun "-np 2" \
+            --monitoring --debug M
+
+Performance mode prints ``N iterations completed in X ms`` and can
+append the run (with its full configuration) to a CSV consumed by
+``easyplot`` — the workflow of paper Figs. 5–6.
+
+Display being file-based here, ``--display`` dumps a PPM frame per
+iteration into ``--output-dir``; ``--monitoring`` additionally prints
+the terminal versions of the Tiling and Activity windows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.core.kernel import get_kernel, list_kernels
+from repro.errors import EasypapError
+from repro.mpi.launcher import parse_mpirun_args
+from repro.omp.icv import resolve_icvs
+
+__all__ = ["build_parser", "parse_args", "config_from_args", "main"]
+
+#: options whose value legitimately starts with a dash (argparse would
+#: otherwise mistake "-np 2" for an option)
+_DASH_VALUE_FLAGS = ("--mpirun",)
+
+
+def _preprocess_argv(argv: list[str]) -> list[str]:
+    """Fold ``--mpirun -np 2`` into ``--mpirun=-np 2`` so argparse accepts
+    the paper's invocation style."""
+    out: list[str] = []
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a in _DASH_VALUE_FLAGS and i + 1 < len(argv):
+            out.append(f"{a}={argv[i + 1]}")
+            i += 2
+        else:
+            out.append(a)
+            i += 1
+    return out
+
+
+def parse_args(argv: list[str] | None = None):
+    """Parse an easypap command line (with dash-value folding)."""
+    if argv is not None:
+        argv = _preprocess_argv(list(argv))
+    return build_parser().parse_args(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="easypap",
+        description="EASYPAP (Python reproduction): run 2D kernels under "
+        "interchangeable parallel variants with monitoring and tracing.",
+    )
+    p.add_argument("-k", "--kernel", default="none", help="kernel name (see --list-kernels)")
+    p.add_argument("-v", "--variant", default="seq", help="variant name (see --list-variants)")
+    p.add_argument("-s", "--size", type=int, default=None, metavar="DIM", help="image side length")
+    p.add_argument("-ts", "--tile-size", type=int, default=None, help="square tile side")
+    p.add_argument("-g", "--grain", type=int, default=None, help="alias for --tile-size")
+    p.add_argument("-tw", "--tile-width", type=int, default=None)
+    p.add_argument("-th", "--tile-height", type=int, default=None)
+    p.add_argument("-i", "--iterations", type=int, default=1)
+    p.add_argument("-a", "--arg", default=None, help="kernel-specific parameter")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("-n", "--no-display", action="store_true", help="performance mode (default)")
+    p.add_argument("--display", action="store_true", help="dump one PPM frame per iteration")
+    p.add_argument("-m", "--monitoring", action="store_true", help="record + print monitoring windows")
+    p.add_argument("-t", "--trace", action="store_true", help="record an execution trace (.evt)")
+    p.add_argument("--trace-file", default=None, help="trace output path")
+    p.add_argument("--mpirun", default=None, metavar="ARGS", help='e.g. "-np 2"')
+    p.add_argument("-d", "--debug", default="", help="debug flag letters (M: monitor all ranks)")
+    p.add_argument("--nb-threads", type=int, default=None, help="overrides OMP_NUM_THREADS")
+    p.add_argument("--schedule", default=None, help="overrides OMP_SCHEDULE")
+    p.add_argument("--backend", choices=("sim", "threads"), default="sim")
+    p.add_argument("--time-scale", type=float, default=1.0, help="cost-model scaling factor")
+    p.add_argument("--jitter", type=float, default=0.0,
+                   help="relative sigma of simulated system noise (0 = deterministic)")
+    p.add_argument("--run-index", type=int, default=0,
+                   help="repetition number (seeds the noise stream)")
+    p.add_argument("--csv", default=None, metavar="PATH", help="append the perf row to a CSV")
+    p.add_argument("--machine", default="virtual", help="machine label for CSV rows")
+    p.add_argument("--dump", action="store_true", help="save the final image as PPM")
+    p.add_argument("--check", action="store_true",
+                   help="run the seq variant too and compare final images")
+    p.add_argument("--dashboard", default=None, metavar="SVG",
+                   help="write the monitoring dashboard (needs --monitoring)")
+    p.add_argument("--anim", default=None, metavar="SVG",
+                   help="write the animated tiling window (needs --monitoring)")
+    p.add_argument("-o", "--output-dir", default="dump", help="directory for dumps/frames")
+    p.add_argument("-lk", "--list-kernels", action="store_true")
+    p.add_argument("-lv", "--list-variants", action="store_true")
+    p.add_argument("--label", default="cur", help="trace label (cur/prev, Fig. 10 comparisons)")
+    return p
+
+
+def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunConfig:
+    """Build a :class:`RunConfig` from parsed arguments + ICVs.
+
+    ``env`` substitutes the process environment (hermetic use by
+    expTools and tests).
+    """
+    icvs = resolve_icvs(env, num_threads=args.nb_threads, schedule=args.schedule)
+    dim = args.size if args.size is not None else RunConfig.dim
+    tile = args.tile_size if args.tile_size is not None else args.grain
+    tile_w = args.tile_width if args.tile_width is not None else tile
+    tile_h = args.tile_height if args.tile_height is not None else tile
+    # EASYPAP default: 32x32 tiles, clipped to the image
+    if tile_w is None:
+        tile_w = min(RunConfig.tile_w, dim)
+    if tile_h is None:
+        tile_h = min(RunConfig.tile_h, dim)
+    mpi_np = parse_mpirun_args(args.mpirun) if args.mpirun else 0
+    return RunConfig(
+        kernel=args.kernel,
+        variant=args.variant,
+        dim=dim,
+        tile_w=tile_w,
+        tile_h=tile_h,
+        iterations=args.iterations,
+        nthreads=icvs.num_threads,
+        schedule=icvs.schedule.spec(),
+        backend=args.backend,
+        monitoring=args.monitoring,
+        trace=args.trace,
+        trace_label=args.label,
+        display=args.display and not args.no_display,
+        arg=args.arg,
+        seed=args.seed,
+        mpi_np=mpi_np,
+        debug=args.debug,
+        time_scale=args.time_scale,
+        jitter=args.jitter,
+        run_index=args.run_index,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    if args.list_kernels:
+        print("\n".join(list_kernels()))
+        return 0
+    if args.list_variants:
+        kernel = get_kernel(args.kernel)
+        print("\n".join(kernel.variant_names()))
+        return 0
+    try:
+        config = config_from_args(args)
+    except EasypapError as exc:
+        print(f"easypap: {exc}", file=sys.stderr)
+        return 2
+
+    frame_hook = None
+    if config.display:
+        outdir = Path(args.output_dir)
+
+        def frame_hook(ctx, iteration):  # noqa: F811 - deliberate rebind
+            from repro.view.ppm import save_ppm
+
+            # kernels with internal state must refresh the image first
+            get_kernel(config.kernel).refresh_img(ctx)
+            save_ppm(ctx.img.cur, outdir / f"{config.kernel}-{iteration:04d}.ppm")
+
+    try:
+        result = run(config, frame_hook=frame_hook)
+    except EasypapError as exc:
+        print(f"easypap: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.summary())
+    if result.early_stop:
+        print(f"stabilized at iteration {result.early_stop}")
+
+    if args.check and config.variant != "seq":
+        # students' safety net: replay the run with the reference variant
+        # and diff the pixels
+        import numpy as np
+
+        ref_cfg = config.with_(variant="seq", mpi_np=0, monitoring=False,
+                               trace=False)
+        ref = run(ref_cfg)
+        if np.array_equal(ref.image, result.image):
+            print("check: OK (identical to the seq variant)")
+        else:
+            bad = int((ref.image != result.image).sum())
+            print(f"check: FAILED ({bad} differing pixels vs the seq variant)",
+                  file=sys.stderr)
+            return 1
+
+    if args.monitoring and result.monitor and result.monitor.records:
+        from repro.view.ascii import render_activity, render_idleness_history, render_tiling
+
+        rec = result.monitor.records[-1]
+        print("\n-- Tiling window (last iteration) --")
+        print(render_tiling(rec.tiling, rec.stolen))
+        print("\n-- Activity Monitor --")
+        print(render_activity(rec))
+        print(render_idleness_history(result.monitor.idleness_history))
+
+    if args.dashboard and result.monitor and result.monitor.records:
+        from repro.view.dashboard import dashboard_svg
+
+        path = dashboard_svg(result.monitor).save(args.dashboard)
+        print(f"dashboard written to {path}")
+    if args.anim and result.monitor and result.monitor.records:
+        from repro.view.dashboard import animated_tiling_svg
+
+        path = animated_tiling_svg(result.monitor).save(args.anim)
+        print(f"animated tiling window written to {path}")
+
+    if args.trace and result.trace is not None:
+        from repro.trace.format import default_trace_path, save_trace
+
+        path = Path(args.trace_file) if args.trace_file else default_trace_path(
+            label=args.label
+        )
+        save_trace(result.trace, path)
+        print(f"trace written to {path}")
+
+    if args.dump:
+        from repro.view.ppm import save_ppm
+
+        path = save_ppm(result.image, Path(args.output_dir) / f"{config.kernel}.ppm")
+        print(f"image dumped to {path}")
+
+    if args.csv:
+        from repro.expt.csvdb import append_rows
+
+        row = dict(config.csv_row())
+        row["machine"] = args.machine
+        row["time_us"] = round(result.elapsed * 1e6, 3)
+        row["run"] = 0
+        append_rows(args.csv, [row])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Run configuration.
+
+A :class:`RunConfig` captures everything an ``easypap`` invocation
+specifies (kernel, variant, size, tile geometry, iterations, thread
+count, schedule, monitoring/trace flags...).  It is the single source
+of truth shared by the CLI, the experiment driver and the engine, and
+it round-trips into the performance-mode CSV rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.omp.icv import DEFAULT_NUM_THREADS
+from repro.sched.policies import SchedulePolicy, parse_schedule
+
+__all__ = ["RunConfig", "DEFAULT_DIM", "DEFAULT_TILE"]
+
+DEFAULT_DIM = 256
+DEFAULT_TILE = 32
+
+
+@dataclass
+class RunConfig:
+    """Parameters of one kernel run."""
+
+    kernel: str = "none"
+    variant: str = "seq"
+    dim: int = DEFAULT_DIM
+    tile_w: int = DEFAULT_TILE
+    tile_h: int = DEFAULT_TILE
+    iterations: int = 1
+    nthreads: int = DEFAULT_NUM_THREADS
+    schedule: str = "dynamic"
+    backend: str = "sim"  # "sim" (virtual time) or "threads" (wall clock)
+    monitoring: bool = False
+    trace: bool = False
+    trace_label: str = "cur"
+    display: bool = False
+    arg: str | None = None  # kernel-specific parameter (EASYPAP --arg)
+    seed: int | None = None
+    mpi_np: int = 0  # 0 = no MPI; N = --mpirun "-np N"
+    debug: str = ""  # EASYPAP-style debug flag letters (e.g. "M")
+    time_scale: float = 1.0  # cost-model scaling (tests use tiny scales)
+    jitter: float = 0.0  # relative sigma of simulated system noise
+    run_index: int = 0  # repetition number (seeds the jitter stream)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.validate()
+
+    # -- validation -----------------------------------------------------------
+    def validate(self) -> None:
+        if self.dim <= 0:
+            raise ConfigError(f"--size must be positive, got {self.dim}")
+        if self.tile_w <= 0 or self.tile_h <= 0:
+            raise ConfigError(
+                f"tile size must be positive, got {self.tile_w}x{self.tile_h}"
+            )
+        if self.tile_w > self.dim or self.tile_h > self.dim:
+            raise ConfigError(
+                f"tile {self.tile_w}x{self.tile_h} larger than image ({self.dim})"
+            )
+        if self.iterations < 1:
+            raise ConfigError(f"--iterations must be >= 1, got {self.iterations}")
+        if self.nthreads < 1:
+            raise ConfigError(f"thread count must be >= 1, got {self.nthreads}")
+        if self.backend not in ("sim", "threads"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
+        if self.mpi_np < 0:
+            raise ConfigError(f"-np must be >= 0, got {self.mpi_np}")
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+        if self.run_index < 0:
+            raise ConfigError(f"run_index must be >= 0, got {self.run_index}")
+        # raises ScheduleError on bad specs:
+        self.policy()
+
+    # -- derived values ----------------------------------------------------------
+    def policy(self) -> SchedulePolicy:
+        return parse_schedule(self.schedule)
+
+    @property
+    def grain(self) -> int:
+        """EASYPAP's ``--grain`` alias: square tile side."""
+        return self.tile_w
+
+    def with_(self, **kwargs) -> "RunConfig":
+        """A modified copy (used heavily by sweeps and tests)."""
+        return replace(self, **kwargs)
+
+    # -- CSV round-trip --------------------------------------------------------------
+    def csv_row(self) -> dict[str, Any]:
+        """The configuration columns of a performance-mode CSV row."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "dim": self.dim,
+            "tile_w": self.tile_w,
+            "tile_h": self.tile_h,
+            "iterations": self.iterations,
+            "threads": self.nthreads,
+            "schedule": self.schedule,
+            "backend": self.backend,
+            "arg": self.arg or "",
+            "np": self.mpi_np,
+        }
+
+    def label(self) -> str:
+        """Human-readable one-liner (trace metadata, logs)."""
+        parts = [
+            f"kernel={self.kernel}",
+            f"variant={self.variant}",
+            f"dim={self.dim}",
+            f"tile={self.tile_w}x{self.tile_h}",
+            f"threads={self.nthreads}",
+            f"schedule={self.schedule}",
+        ]
+        if self.mpi_np:
+            parts.append(f"np={self.mpi_np}")
+        return " ".join(parts)

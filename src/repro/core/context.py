@@ -1,0 +1,238 @@
+"""The execution context handed to every kernel variant.
+
+A :class:`ExecutionContext` bundles the image, the tile grid, the
+parallel runtime (virtual-CPU team + schedule policy + cost model), the
+monitoring and tracing sinks, and the virtual clock.  Kernels see the
+EASYPAP surface — ``cur_img``/``next_img``, ``swap_images``, ``DIM``,
+``TILE_W``... — plus the parallel constructs (``parallel_for``,
+``task_region``) documented in :mod:`repro.omp`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence, TYPE_CHECKING
+
+from repro.core.config import RunConfig
+from repro.core.image import Img2D
+from repro.core.tiling import Tile, TileGrid
+from repro.monitor.activity import Monitor
+from repro.sched.costmodel import DEFAULT_COST_MODEL, CostModel, perturb
+from repro.sched.policies import SchedulePolicy
+from repro.sched.timeline import TaskExec, Timeline
+from repro.trace.events import TraceMeta
+from repro.trace.recorder import TraceRecorder
+from repro.util.rng import make_jitter_rng, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.proc import MpiProcessContext
+
+__all__ = ["ExecutionContext"]
+
+
+class ExecutionContext:
+    """Everything a kernel variant needs to run.
+
+    The context owns the *virtual clock*: every parallel region advances
+    it by the simulated makespan of that region (plus fork/join
+    overhead), so at the end of a run ``ctx.vclock`` is the virtual
+    wall-clock time performance mode reports.
+    """
+
+    def __init__(self, config: RunConfig, *, model: CostModel | None = None):
+        self.config = config
+        self.dim = config.dim
+        self.img = Img2D(config.dim)
+        self.grid = TileGrid(config.dim, config.tile_w, config.tile_h)
+        self.nthreads = config.nthreads
+        self.policy: SchedulePolicy = config.policy()
+        base_model = model if model is not None else DEFAULT_COST_MODEL
+        self.model = (
+            base_model.scaled(config.time_scale)
+            if config.time_scale != 1.0
+            else base_model
+        )
+        self.backend = config.backend
+        self.rng = make_rng(config.seed)
+        self.jitter_rng = make_jitter_rng(config.seed, config.run_index)
+        self.arg = config.arg
+        #: free-form kernel state (life grids, mandel viewport, ...)
+        self.data: dict[str, Any] = {}
+        self.vclock = 0.0
+        self.iteration = 0
+        self.completed_iterations = 0
+        self.monitor: Monitor | None = (
+            Monitor(config.nthreads, self.grid) if config.monitoring else None
+        )
+        self.tracer: TraceRecorder | None = None
+        if config.trace:
+            self.tracer = TraceRecorder(
+                TraceMeta(
+                    kernel=config.kernel,
+                    variant=config.variant,
+                    dim=config.dim,
+                    tile_w=config.tile_w,
+                    tile_h=config.tile_h,
+                    ncpus=config.nthreads,
+                    schedule=config.schedule,
+                    iterations=config.iterations,
+                    label=config.trace_label,
+                )
+            )
+        #: set by the MPI launcher when running under ``--mpirun``
+        self.mpi: "MpiProcessContext | None" = None
+        #: per-iteration hook used by display mode / tests
+        self.frame_hook: Callable[[ExecutionContext, int], None] | None = None
+        #: when set (a list), every region appends its work profile here —
+        #: the capture side of :mod:`repro.expt.replay`
+        self.region_log: list | None = None
+
+    # -- EASYPAP image macros -------------------------------------------------
+    @property
+    def DIM(self) -> int:
+        return self.dim
+
+    @property
+    def TILE_W(self) -> int:
+        return self.config.tile_w
+
+    @property
+    def TILE_H(self) -> int:
+        return self.config.tile_h
+
+    def cur_img(self, y: int, x: int) -> int:
+        return self.img.cur_img(y, x)
+
+    def set_cur(self, y: int, x: int, value: int) -> None:
+        self.img.set_cur(y, x, value)
+
+    def next_img(self, y: int, x: int) -> int:
+        return self.img.next_img(y, x)
+
+    def set_next(self, y: int, x: int, value: int) -> None:
+        self.img.set_next(y, x, value)
+
+    def swap_images(self) -> None:
+        self.img.swap()
+
+    # -- iteration bookkeeping ----------------------------------------------------
+    def iterations(self, nb_iter: int) -> Iterator[int]:
+        """Iterate ``nb_iter`` times with monitoring/trace bookkeeping.
+
+        Kernels write their outer loop as
+        ``for it in ctx.iterations(nb_iter): ...`` — the equivalent of
+        EASYPAP driving one monitored frame per iteration.
+
+        Early-terminating kernels (Game of Life returning the iteration
+        at which it stabilized) ``return`` from inside the loop; the
+        in-flight iteration is still accounted for when the generator is
+        closed.
+        """
+        for _ in range(nb_iter):
+            self.iteration += 1
+            try:
+                yield self.iteration
+            except GeneratorExit:
+                # consumer returned mid-iteration: close the books first
+                self.end_iteration()
+                raise
+            self.end_iteration()
+
+    def end_iteration(self) -> None:
+        self.completed_iterations += 1
+        if self.monitor is not None:
+            self.monitor.end_iteration(self.iteration, self.vclock)
+        if self.frame_hook is not None:
+            self.frame_hook(self, self.iteration)
+
+    # -- clock and recording ----------------------------------------------------------
+    def advance_clock(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot move the clock backwards ({dt})")
+        self.vclock += dt
+
+    def record_timeline(self, timeline: Timeline) -> None:
+        if self.monitor is not None:
+            self.monitor.record_timeline(timeline)
+        if self.tracer is not None:
+            self.tracer.record_timeline(timeline)
+
+    def perturb_costs(self, costs: list[float]) -> list[float]:
+        """Apply the run's system-noise model to per-item costs (no-op
+        unless ``config.jitter > 0``)."""
+        return perturb(costs, self.jitter_rng, self.config.jitter)
+
+    # -- parallel constructs (thin wrappers over repro.omp) -----------------------------
+    def parallel_for(
+        self,
+        body: Callable[[Tile], float],
+        items: Sequence[Any] | None = None,
+        *,
+        schedule: SchedulePolicy | str | None = None,
+        kind: str = "tile",
+    ):
+        from repro.omp.parallel import parallel_for
+
+        return parallel_for(self, body, items, schedule=schedule, kind=kind)
+
+    def parallel_reduce(
+        self,
+        body,
+        items: Sequence[Any] | None = None,
+        *,
+        combine,
+        init,
+        schedule: SchedulePolicy | str | None = None,
+        kind: str = "tile",
+    ):
+        from repro.omp.parallel import parallel_reduce
+
+        return parallel_reduce(
+            self, body, items, combine=combine, init=init,
+            schedule=schedule, kind=kind,
+        )
+
+    def task_region(self, *, kind: str = "task"):
+        from repro.omp.tasks import TaskRegion
+
+        return TaskRegion(self, kind=kind)
+
+    def sequential_for(
+        self,
+        body: Callable[[Any], float],
+        items: Iterable[Any] | None = None,
+        *,
+        kind: str = "tile",
+    ) -> float:
+        """Run ``body`` over items on virtual CPU 0, back-to-back.
+
+        This is what ``seq``/``tiled`` (single-thread) variants use; it
+        still feeds monitoring and traces, so heat maps work in
+        sequential mode too.
+        """
+        items = list(self.grid) if items is None else list(items)
+        works = [float(body(item) or 0.0) for item in items]
+        if self.region_log is not None:
+            self.region_log.append(("seq", works))
+        costs = self.perturb_costs(self.model.times_of(works))
+        timeline = Timeline(ncpus=self.nthreads)
+        t = self.vclock
+        for item, cost in zip(items, costs):
+            timeline.append(
+                TaskExec(item, 0, t, t + cost, {"iteration": self.iteration, "kind": kind})
+            )
+            t += cost
+        self.vclock = t
+        self.record_timeline(timeline)
+        return t
+
+    def run_on_master(self, fn: Callable[[], Any], work: float = 0.0) -> Any:
+        """Run a sequential section (the ``#pragma omp single`` zoom() call)."""
+        result = fn()
+        if work:
+            self.advance_clock(self.model.time_of(work))
+        if self.region_log is not None:
+            self.region_log.append(("master", float(work)))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionContext({self.config.label()})"

@@ -1,0 +1,133 @@
+"""Double-buffered 2D images.
+
+EASYPAP kernels operate on square images whose pixels are 32-bit RGBA
+values, accessed through the ``cur_img(y, x)`` / ``next_img(y, x)``
+macros; stencil kernels write into the *next* image and swap buffers
+between iterations.  :class:`Img2D` reproduces that model on top of
+NumPy ``uint32`` arrays (vectorized access is the idiomatic fast path;
+the scalar accessors exist for the "naive student code" variants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["Img2D", "rgba", "rgb", "red_of", "green_of", "blue_of", "alpha_of"]
+
+
+def rgba(r: int, g: int, b: int, a: int = 255) -> int:
+    """Pack four 8-bit channels into an EASYPAP pixel value (0xRRGGBBAA)."""
+    return ((r & 0xFF) << 24) | ((g & 0xFF) << 16) | ((b & 0xFF) << 8) | (a & 0xFF)
+
+
+def rgb(r: int, g: int, b: int) -> int:
+    """Pack an opaque color (alpha = 255)."""
+    return rgba(r, g, b, 255)
+
+
+def red_of(pixel) -> int:
+    return int(pixel) >> 24 & 0xFF
+
+
+def green_of(pixel) -> int:
+    return int(pixel) >> 16 & 0xFF
+
+
+def blue_of(pixel) -> int:
+    return int(pixel) >> 8 & 0xFF
+
+
+def alpha_of(pixel) -> int:
+    return int(pixel) & 0xFF
+
+
+class Img2D:
+    """A pair of square ``uint32`` images with O(1) buffer swap.
+
+    Attributes
+    ----------
+    dim:
+        Side length in pixels (EASYPAP images are square).
+    cur, nxt:
+        The current and next NumPy buffers, shape ``(dim, dim)``.
+    """
+
+    __slots__ = ("dim", "cur", "nxt", "swaps")
+
+    def __init__(self, dim: int, fill: int = 0):
+        if dim <= 0:
+            raise ConfigError(f"image dimension must be positive, got {dim}")
+        self.dim = int(dim)
+        self.cur = np.full((dim, dim), fill, dtype=np.uint32)
+        self.nxt = np.full((dim, dim), fill, dtype=np.uint32)
+        self.swaps = 0
+
+    # -- scalar accessors (the cur_img()/next_img() macros) ---------------
+    def cur_img(self, y: int, x: int) -> int:
+        """Read one pixel of the current image (EASYPAP ``cur_img(i, j)``)."""
+        return int(self.cur[y, x])
+
+    def set_cur(self, y: int, x: int, value: int) -> None:
+        self.cur[y, x] = value
+
+    def next_img(self, y: int, x: int) -> int:
+        return int(self.nxt[y, x])
+
+    def set_next(self, y: int, x: int, value: int) -> None:
+        self.nxt[y, x] = value
+
+    # -- bulk access -------------------------------------------------------
+    def cur_view(self, y: int, x: int, h: int, w: int) -> np.ndarray:
+        """A writable view of a rectangle of the current image."""
+        self._check_rect(y, x, h, w)
+        return self.cur[y : y + h, x : x + w]
+
+    def next_view(self, y: int, x: int, h: int, w: int) -> np.ndarray:
+        self._check_rect(y, x, h, w)
+        return self.nxt[y : y + h, x : x + w]
+
+    def _check_rect(self, y: int, x: int, h: int, w: int) -> None:
+        if y < 0 or x < 0 or h < 0 or w < 0 or y + h > self.dim or x + w > self.dim:
+            raise ConfigError(
+                f"rectangle (x={x}, y={y}, w={w}, h={h}) out of bounds "
+                f"for a {self.dim}x{self.dim} image"
+            )
+
+    # -- lifecycle ----------------------------------------------------------
+    def swap(self) -> None:
+        """Exchange current and next buffers (between stencil iterations)."""
+        self.cur, self.nxt = self.nxt, self.cur
+        self.swaps += 1
+
+    def fill(self, value: int, *, both: bool = True) -> None:
+        self.cur[:] = value
+        if both:
+            self.nxt[:] = value
+
+    def copy_cur(self) -> np.ndarray:
+        """A snapshot of the current image (used by tests and thumbnails)."""
+        return self.cur.copy()
+
+    def load(self, array: np.ndarray) -> None:
+        """Load pixel data into the current image (shape must match)."""
+        if array.shape != (self.dim, self.dim):
+            raise ConfigError(
+                f"array shape {array.shape} does not match image dim {self.dim}"
+            )
+        self.cur[:] = array.astype(np.uint32, copy=False)
+
+    # -- channel planes ------------------------------------------------------
+    def channels(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Split the current image into (r, g, b, a) uint8 planes."""
+        c = self.cur
+        return (
+            (c >> 24 & 0xFF).astype(np.uint8),
+            (c >> 16 & 0xFF).astype(np.uint8),
+            (c >> 8 & 0xFF).astype(np.uint8),
+            (c & 0xFF).astype(np.uint8),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Img2D(dim={self.dim}, swaps={self.swaps})"

@@ -1,0 +1,122 @@
+"""Kernel and variant registry.
+
+EASYPAP kernels are C functions found by naming convention
+(``mandel_compute_omp_tiled``).  Here a kernel is a class with methods
+marked by the :func:`variant` decorator; the registry maps
+``--kernel``/``--variant`` names to them.
+
+A variant has signature ``variant(self, ctx, nb_iter) -> int``: it
+performs ``nb_iter`` iterations (using ``for it in ctx.iterations(nb_iter)``)
+and returns 0, or — like EASYPAP kernels that detect stabilization
+(Game of Life) — the iteration number at which the computation reached
+a steady state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.errors import KernelError, UnknownKernelError, UnknownVariantError
+
+__all__ = ["Kernel", "variant", "register_kernel", "get_kernel", "list_kernels"]
+
+_KERNELS: dict[str, Type["Kernel"]] = {}
+
+
+def variant(name: str) -> Callable:
+    """Mark a kernel method as the compute function of variant ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        fn._variant_name = name
+        return fn
+
+    return deco
+
+
+class Kernel:
+    """Base class for kernels.
+
+    Lifecycle (driven by the engine)::
+
+        init(ctx)      -- allocate kernel data (EASYPAP *_init)
+        draw(ctx)      -- fill the initial image (EASYPAP *_draw)
+        <variant>(ctx, nb_iter)
+        refresh_img(ctx) -- sync the image from internal data structures
+        finalize(ctx)
+    """
+
+    #: registry name; subclasses must set it
+    name: str = "?"
+
+    #: variant name -> unbound method, filled by ``__init_subclass__``
+    variants: dict[str, Callable]
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        found: dict[str, Callable] = {}
+        for klass in reversed(cls.__mro__):
+            for attr in vars(klass).values():
+                vname = getattr(attr, "_variant_name", None)
+                if vname is not None:
+                    found[vname] = attr
+        cls.variants = found
+
+    # -- lifecycle hooks (default no-ops) -----------------------------------
+    def init(self, ctx) -> None:
+        """Allocate kernel-specific data in ``ctx.data``."""
+
+    def draw(self, ctx) -> None:
+        """Fill the initial image."""
+
+    def refresh_img(self, ctx) -> None:
+        """Update ``ctx.img`` from internal data structures (display)."""
+
+    def finalize(self, ctx) -> None:
+        """Release resources / final checks."""
+
+    # -- variant lookup ----------------------------------------------------------
+    @classmethod
+    def variant_names(cls) -> list[str]:
+        return sorted(cls.variants)
+
+    def compute_fn(self, variant_name: str) -> Callable:
+        try:
+            fn = self.variants[variant_name]
+        except KeyError:
+            raise UnknownVariantError(
+                self.name, variant_name, list(self.variants)
+            ) from None
+        return fn.__get__(self, type(self))
+
+
+def register_kernel(cls: Type[Kernel]) -> Type[Kernel]:
+    """Class decorator adding a kernel to the registry."""
+    if not issubclass(cls, Kernel):
+        raise KernelError(f"{cls!r} is not a Kernel subclass")
+    if cls.name in (None, "?", ""):
+        raise KernelError(f"kernel class {cls.__name__} must set a name")
+    if cls.name in _KERNELS and _KERNELS[cls.name] is not cls:
+        raise KernelError(f"kernel {cls.name!r} already registered")
+    _KERNELS[cls.name] = cls
+    return cls
+
+
+def get_kernel(name: str) -> Kernel:
+    """Instantiate a registered kernel (kernels are stateless between runs:
+    per-run state lives in ``ctx.data``)."""
+    _ensure_builtin_kernels()
+    try:
+        cls = _KERNELS[name]
+    except KeyError:
+        raise UnknownKernelError(name, list(_KERNELS)) from None
+    return cls()
+
+
+def list_kernels() -> list[str]:
+    _ensure_builtin_kernels()
+    return sorted(_KERNELS)
+
+
+def _ensure_builtin_kernels() -> None:
+    """Import the built-in kernel package once (registers via decorator)."""
+    import repro.kernels  # noqa: F401  (import side effect)

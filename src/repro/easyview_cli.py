@@ -1,0 +1,136 @@
+"""The ``easyview`` command: off-line trace exploration (paper §II-D).
+
+Single-trace mode prints run metadata, per-CPU statistics, an ASCII
+Gantt chart and (with ``--svg``) writes the interactive SVG Gantt whose
+hover bubbles show task durations and tile coordinates — the Fig. 7
+experience, minus the mouse.
+
+Two traces (``easyview a.evt b.evt``) enter comparison mode (Fig. 10):
+stacked charts on a shared time scale plus the per-tile speedup
+distribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import EasypapError
+from repro.trace.compare import TraceComparison
+from repro.trace.coverage import locality_score, mean_spread
+from repro.trace.format import load_trace
+from repro.trace.gantt import GanttChart
+from repro.trace.stats import duration_stats, iteration_spans, per_cpu_busy
+
+__all__ = ["main"]
+
+
+def _show_trace(path: str, first_it: int | None, last_it: int | None, width: int) -> None:
+    trace = load_trace(path)
+    m = trace.meta
+    print(f"trace: {path}")
+    print(
+        f"  kernel={m.kernel} variant={m.variant} dim={m.dim} "
+        f"tile={m.tile_w}x{m.tile_h} threads={m.ncpus} schedule={m.schedule}"
+    )
+    print(f"  {len(trace)} events over {len(trace.iterations)} iterations, "
+          f"span {trace.duration * 1e3:.3f} ms")
+    stats = duration_stats(trace, kind=None)
+    print(
+        f"  task durations: mean {stats.mean * 1e6:.1f} us, "
+        f"median {stats.median * 1e6:.1f} us, p90 {stats.p90 * 1e6:.1f} us, "
+        f"max {stats.vmax * 1e6:.1f} us"
+    )
+    busy = per_cpu_busy(trace)
+    for cpu, b in enumerate(busy):
+        spread = mean_spread(trace, cpu)
+        print(f"  CPU {cpu:2d}: busy {b * 1e3:8.3f} ms, coverage spread {spread:.3f}")
+    print(f"  locality score: {locality_score(trace):.3f} (lower = more local)")
+    print("\nper-iteration spans (ms):")
+    for it, span in iteration_spans(trace).items():
+        print(f"  iteration {it:3d}: {span * 1e3:.3f}")
+    chart = GanttChart(trace, first_it, last_it)
+    print("\nGantt chart:")
+    print(chart.to_ascii(width))
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="easyview", description="EASYVIEW: explore easypap execution traces."
+    )
+    p.add_argument("traces", nargs="+", help="one trace to explore, or two to compare")
+    p.add_argument("--iteration-range", "-r", default=None, metavar="LO:HI")
+    p.add_argument("--width", type=int, default=100, help="ASCII Gantt width")
+    p.add_argument("--svg", default=None, metavar="PATH", help="write an SVG Gantt")
+    p.add_argument("--coverage", type=int, default=None, metavar="CPU",
+                   help="print the coverage map of one CPU (horizontal mouse mode)")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="export to Chrome/Perfetto trace-event JSON")
+    p.add_argument("--analysis", action="store_true",
+                   help="print the per-iteration efficiency breakdown")
+    args = p.parse_args(argv)
+
+    first_it = last_it = None
+    if args.iteration_range:
+        try:
+            lo, _, hi = args.iteration_range.partition(":")
+            first_it, last_it = int(lo), int(hi)
+        except ValueError:
+            print(f"easyview: bad --iteration-range {args.iteration_range!r}", file=sys.stderr)
+            return 2
+
+    try:
+        if len(args.traces) == 1:
+            _show_trace(args.traces[0], first_it, last_it, args.width)
+            trace = load_trace(args.traces[0])
+            if args.coverage is not None:
+                from repro.trace.coverage import coverage_mask
+
+                dim = trace.meta.dim or 1
+                mask = coverage_mask(trace, args.coverage, dim, first_it, last_it)
+                tw = max(trace.meta.tile_w, 1)
+                th = max(trace.meta.tile_h, 1)
+                tiles = mask[::th, ::tw]
+                print(f"\ncoverage map of CPU {args.coverage} "
+                      f"('#' = computed at least once):")
+                print("\n".join(
+                    "".join("#" if v else "." for v in row) for row in tiles
+                ))
+            if args.svg:
+                chart = GanttChart(trace, first_it, last_it)
+                out = chart.to_svg().save(args.svg)
+                print(f"\nSVG Gantt written to {out}")
+            if args.chrome:
+                from repro.trace.chrome import save_chrome_trace
+
+                out = save_chrome_trace(trace, args.chrome)
+                print(f"Chrome trace written to {out}")
+            if args.analysis:
+                from repro.trace.analysis import bottleneck_report
+
+                print("\nbottleneck analysis:")
+                print(bottleneck_report(trace))
+        elif len(args.traces) == 2:
+            before = load_trace(args.traces[0])
+            after = load_trace(args.traces[1])
+            cmp_ = TraceComparison(before, after)
+            print(cmp_.report())
+            print("\nbefore:")
+            print(GanttChart(before, first_it, last_it).to_ascii(args.width))
+            print("\nafter:")
+            print(GanttChart(after, first_it, last_it).to_ascii(args.width))
+            if args.svg:
+                out = cmp_.to_svg().save(args.svg)
+                print(f"\nSVG comparison written to {out}")
+        else:
+            print("easyview: give one trace, or two to compare", file=sys.stderr)
+            return 2
+    except EasypapError as exc:
+        print(f"easyview: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the EASYPAP reproduction.
+
+Every error raised by the framework derives from :class:`EasypapError`,
+so applications embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class EasypapError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigError(EasypapError):
+    """Invalid run configuration (bad flag combination, bad sizes...)."""
+
+
+class KernelError(EasypapError):
+    """Problem with a kernel definition or lookup."""
+
+
+class UnknownKernelError(KernelError):
+    """Requested kernel name is not registered."""
+
+    def __init__(self, name: str, known: list[str] | None = None):
+        self.name = name
+        self.known = sorted(known or [])
+        hint = f" (known kernels: {', '.join(self.known)})" if self.known else ""
+        super().__init__(f"unknown kernel {name!r}{hint}")
+
+
+class UnknownVariantError(KernelError):
+    """Requested variant name does not exist for the kernel."""
+
+    def __init__(self, kernel: str, variant: str, known: list[str] | None = None):
+        self.kernel = kernel
+        self.variant = variant
+        self.known = sorted(known or [])
+        hint = f" (known variants: {', '.join(self.known)})" if self.known else ""
+        super().__init__(f"kernel {kernel!r} has no variant {variant!r}{hint}")
+
+
+class ScheduleError(EasypapError):
+    """Invalid OpenMP-style schedule specification."""
+
+
+class SimulationError(EasypapError):
+    """Internal inconsistency detected by the scheduling simulator."""
+
+
+class DependencyError(EasypapError):
+    """Invalid task dependency graph (cycle, unknown task...)."""
+
+
+class MpiError(EasypapError):
+    """Error in the message-passing substrate."""
+
+
+class RankMismatchError(MpiError):
+    """Collective called with inconsistent arguments across ranks."""
+
+
+class TraceError(EasypapError):
+    """Malformed trace file or recorder misuse."""
+
+
+class PlotError(EasypapError):
+    """easyplot could not build the requested graph."""

@@ -1,0 +1,105 @@
+"""The performance-results CSV database.
+
+EASYPAP's performance mode appends every run — completion time plus
+all execution and configuration parameters — to a CSV file (paper
+§II-C).  This module owns that file format: append-friendly writes,
+typed reads, filtering and grouping helpers used by ``easyplot``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import PlotError
+
+__all__ = ["append_rows", "read_rows", "filter_rows", "unique_values", "column_types"]
+
+
+def _parse_cell(text: str) -> Any:
+    """Best-effort typing: int, then float, then string."""
+    if text == "":
+        return ""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def append_rows(path: str | os.PathLike, rows: Iterable[dict]) -> Path:
+    """Append dict rows to ``path``, creating it (with a header) if needed.
+
+    New columns appearing later are supported by rewriting the header
+    union; missing cells become empty strings — sweeps evolve, old data
+    stays loadable.
+    """
+    rows = [dict(r) for r in rows]
+    if not rows:
+        return Path(path)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    existing: list[dict] = read_rows(p) if p.exists() else []
+    cols: list[str] = []
+    for r in existing + rows:
+        for k in r:
+            if k not in cols:
+                cols.append(k)
+    with p.open("w", newline="", encoding="utf-8") as fh:
+        w = csv.DictWriter(fh, fieldnames=cols, restval="")
+        w.writeheader()
+        for r in existing + rows:
+            w.writerow(r)
+    return p
+
+
+def read_rows(path: str | os.PathLike) -> list[dict]:
+    """Read a results CSV with typed cells."""
+    p = Path(path)
+    if not p.exists():
+        raise PlotError(f"results file not found: {p}")
+    with p.open("r", newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        return [{k: _parse_cell(v if v is not None else "") for k, v in row.items()} for row in reader]
+
+
+def filter_rows(rows: list[dict], **criteria: Any) -> list[dict]:
+    """Rows matching every criterion (value, or list of accepted values)."""
+    out = []
+    for r in rows:
+        ok = True
+        for k, v in criteria.items():
+            if v is None:
+                continue
+            cell = r.get(k)
+            accepted = v if isinstance(v, (list, tuple, set)) else (v,)
+            if cell not in accepted:
+                ok = False
+                break
+        if ok:
+            out.append(r)
+    return out
+
+
+def unique_values(rows: list[dict], column: str) -> list[Any]:
+    """Distinct values of a column, in stable first-seen order."""
+    seen: list[Any] = []
+    for r in rows:
+        v = r.get(column)
+        if v not in seen:
+            seen.append(v)
+    return seen
+
+
+def column_types(rows: list[dict]) -> dict[str, type]:
+    """Dominant python type per column (diagnostics)."""
+    out: dict[str, type] = {}
+    for r in rows:
+        for k, v in r.items():
+            out.setdefault(k, type(v))
+    return out

@@ -1,0 +1,141 @@
+"""expTools: experiment automation (paper Fig. 5).
+
+Students customize a python script specifying parameter ranges::
+
+    from repro.expt.exptools import *
+
+    easypap_options["--kernel "] = ["mandel"]
+    easypap_options["--iterations "] = [10]
+    easypap_options["--variant "] = ["omp_tiled"]
+    easypap_options["--grain "] = [16, 32]
+    omp_icv["OMP_NUM_THREADS="] = list(range(2, 13, 2))
+    omp_icv["OMP_SCHEDULE="] = ["static", "guided", "dynamic,2",
+                                "nonmonotonic:dynamic"]
+    execute('easypap', omp_icv, easypap_options, runs=10)
+
+``execute`` runs the full cartesian product (in-process — the kernels
+and the CLI parser are the same ones the ``easypap`` command uses) and
+appends one CSV row per run, with every parameter recorded, ready for
+``easyplot``.
+
+For sweeps where only the *schedule dimensions* vary (threads,
+schedule), pass ``reuse_work=True``: per-tile work is computed once per
+(kernel, size, grain, iterations) and the scheduling is re-simulated for
+each configuration — hundreds of configurations in seconds, with
+results identical to full runs (work is deterministic).
+"""
+
+from __future__ import annotations
+
+import shlex
+import time
+from itertools import product
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.cli import build_parser, config_from_args
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.errors import ConfigError
+from repro.expt.csvdb import append_rows
+from repro.expt.replay import WorkProfileCache
+
+__all__ = ["execute", "sweep_configs", "easypap_options", "omp_icv", "DEFAULT_CSV"]
+
+DEFAULT_CSV = "perf_data.csv"
+
+#: module-level dicts so student scripts can mirror the paper verbatim
+easypap_options: dict[str, list] = {}
+omp_icv: dict[str, list] = {}
+
+
+def _combinations(spec: Mapping[str, Sequence]) -> list[dict[str, Any]]:
+    keys = list(spec)
+    out = []
+    for values in product(*(spec[k] for k in keys)):
+        out.append(dict(zip(keys, values)))
+    return out
+
+
+def _argv_of(options: Mapping[str, Any]) -> list[str]:
+    """Turn {"--grain ": 16, ...} into an argv list (tolerates the
+    trailing-space style of the paper's script)."""
+    argv: list[str] = []
+    for flag, value in options.items():
+        argv.extend(shlex.split(flag.strip()))
+        if value is not None and value != "":
+            argv.append(str(value))
+    return argv
+
+
+def _env_of(icvs: Mapping[str, Any]) -> dict[str, str]:
+    """Turn {"OMP_NUM_THREADS=": 4, ...} into an environment dict."""
+    env = {}
+    for key, value in icvs.items():
+        env[key.rstrip("=").strip()] = str(value)
+    return env
+
+
+def sweep_configs(
+    icvs: Mapping[str, Sequence] | None = None,
+    options: Mapping[str, Sequence] | None = None,
+) -> list[tuple[RunConfig, dict[str, str]]]:
+    """All (RunConfig, env) pairs of the sweep's cartesian product."""
+    parser = build_parser()
+    configs = []
+    for opt_combo in _combinations(options or {}):
+        argv = _argv_of(opt_combo)
+        for icv_combo in _combinations(icvs or {}):
+            env = _env_of(icv_combo)
+            args = parser.parse_args(argv)
+            configs.append((config_from_args(args, env=env), env))
+    return configs
+
+
+def execute(
+    prog: str = "easypap",
+    icvs: Mapping[str, Sequence] | None = None,
+    options: Mapping[str, Sequence] | None = None,
+    runs: int = 1,
+    *,
+    csv_path: str | Path = DEFAULT_CSV,
+    machine: str = "virtual",
+    reuse_work: bool = False,
+    verbose: bool = False,
+) -> list[dict]:
+    """Run the sweep; returns (and appends to ``csv_path``) the rows.
+
+    ``prog`` is accepted for fidelity with the paper's script; only
+    'easypap' is meaningful.
+    """
+    if prog not in ("easypap", "./run", "run"):
+        raise ConfigError(f"unknown program {prog!r} (expected 'easypap')")
+    icvs = icvs if icvs is not None else omp_icv
+    options = options if options is not None else easypap_options
+    cache = WorkProfileCache() if reuse_work else None
+    rows: list[dict] = []
+    for config, env in sweep_configs(icvs, options):
+        for rep in range(runs):
+            rep_cfg = config.with_(run_index=rep)
+            started = time.perf_counter()
+            if cache is not None:
+                elapsed = cache.simulate(rep_cfg)
+                completed = rep_cfg.iterations
+            else:
+                result = run(rep_cfg)
+                elapsed = result.elapsed
+                completed = result.completed_iterations
+            row = dict(config.csv_row())
+            row["machine"] = machine
+            row["time_us"] = round(elapsed * 1e6, 3)
+            row["run"] = rep
+            row["completed"] = completed
+            rows.append(row)
+            if verbose:
+                real = time.perf_counter() - started
+                print(
+                    f"[{len(rows)}] {config.label()} run={rep} "
+                    f"time={elapsed * 1e3:.3f} ms (took {real:.2f}s)"
+                )
+    append_rows(csv_path, rows)
+    return rows

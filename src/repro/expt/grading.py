@@ -1,0 +1,149 @@
+"""The grading harness: automated assessment of a student variant.
+
+EASYPAP is a teaching tool; what instructors do with it at scale is
+*grade*: is the student's variant correct, does it actually speed up,
+is the load balanced?  :func:`grade_variant` runs that rubric —
+correctness against the ``seq`` reference across several geometries and
+schedules, speedup at growing team sizes, and load balance — and
+returns a structured report.
+
+Used programmatically or through ``tools/grade.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.core.kernel import get_kernel
+from repro.errors import EasypapError
+
+__all__ = ["CheckResult", "GradeReport", "grade_variant"]
+
+
+@dataclass
+class CheckResult:
+    """One rubric item."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{'PASS' if self.passed else 'FAIL'}] {self.name}: {self.detail}"
+
+
+@dataclass
+class GradeReport:
+    """Full rubric outcome for one (kernel, variant)."""
+
+    kernel: str
+    variant: str
+    checks: list[CheckResult] = field(default_factory=list)
+    speedups: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.checks if c.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.checks)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total
+
+    def summary(self) -> str:
+        lines = [f"grading {self.kernel}/{self.variant}: "
+                 f"{self.passed}/{self.total} checks passed"]
+        lines += [f"  {c}" for c in self.checks]
+        if self.speedups:
+            lines.append("  speedups: " + ", ".join(
+                f"{t} threads -> x{s:.2f}" for t, s in sorted(self.speedups.items())
+            ))
+        return "\n".join(lines)
+
+
+def _images_equal(a: np.ndarray, b: np.ndarray) -> tuple[bool, str]:
+    if np.array_equal(a, b):
+        return True, "identical images"
+    bad = int((a != b).sum())
+    return False, f"{bad} differing pixels"
+
+
+def grade_variant(
+    kernel: str,
+    variant: str,
+    *,
+    dims: tuple[int, ...] = (32, 48, 96),
+    tile: int = 8,
+    iterations: int = 2,
+    schedules: tuple[str, ...] = ("static", "dynamic", "nonmonotonic:dynamic"),
+    threads: tuple[int, ...] = (2, 4, 8),
+    min_speedup_per_thread: float = 0.5,
+    arg: str | None = None,
+    seed: int = 1,
+) -> GradeReport:
+    """Run the rubric; never raises for student mistakes — failures
+    become failed checks (configuration errors still raise)."""
+    report = GradeReport(kernel=kernel, variant=variant)
+    get_kernel(kernel).compute_fn(variant)  # fail fast on unknown names
+
+    def cfg(**kw) -> RunConfig:
+        base = dict(kernel=kernel, variant=variant, tile_w=tile, tile_h=tile,
+                    iterations=iterations, arg=arg, seed=seed)
+        base.update(kw)
+        return RunConfig(**base)
+
+    # 1. correctness across image sizes (incl. one not divisible by tile)
+    for dim in tuple(dims) + (dims[-1] - tile // 2,):
+        try:
+            ref = run(cfg(dim=dim, variant="seq", nthreads=1))
+            got = run(cfg(dim=dim, nthreads=4))
+            ok, detail = _images_equal(ref.image, got.image)
+        except EasypapError as exc:
+            ok, detail = False, f"raised {type(exc).__name__}: {exc}"
+        report.checks.append(CheckResult(f"correct at dim={dim}", ok, detail))
+
+    # 2. correctness under every schedule (catches order assumptions)
+    for sched in schedules:
+        try:
+            ref = run(cfg(dim=dims[0], variant="seq", nthreads=1))
+            got = run(cfg(dim=dims[0], nthreads=5, schedule=sched))
+            ok, detail = _images_equal(ref.image, got.image)
+        except EasypapError as exc:
+            ok, detail = False, f"raised {type(exc).__name__}: {exc}"
+        report.checks.append(CheckResult(f"correct under {sched}", ok, detail))
+
+    # 3. determinism: same config twice -> same image and same time
+    a = run(cfg(dim=dims[0], nthreads=4))
+    b = run(cfg(dim=dims[0], nthreads=4))
+    ok = bool(np.array_equal(a.image, b.image)) and a.elapsed == b.elapsed
+    report.checks.append(CheckResult("deterministic", ok,
+                                     "bit-identical reruns" if ok else "reruns differ"))
+
+    # 4. scalability: speedup vs the 1-thread run of the same variant
+    base = run(cfg(dim=dims[-1], nthreads=1, schedule="dynamic"))
+    for t in threads:
+        par = run(cfg(dim=dims[-1], nthreads=t, schedule="dynamic"))
+        s = par.speedup_vs(base)
+        report.speedups[t] = s
+        ok = s >= min_speedup_per_thread * t
+        report.checks.append(CheckResult(
+            f"speedup at {t} threads", ok,
+            f"x{s:.2f} (threshold x{min_speedup_per_thread * t:.1f})",
+        ))
+
+    # 5. load balance under the dynamic schedule
+    mon = run(cfg(dim=dims[-1], nthreads=4, schedule="dynamic", monitoring=True))
+    if mon.monitor is not None and mon.monitor.records:
+        imb = mon.monitor.load_imbalance()
+        ok = imb < 1.5
+        report.checks.append(CheckResult(
+            "load balance (dynamic)", ok, f"imbalance {imb:.2f} (threshold 1.5)"
+        ))
+    return report

@@ -1,0 +1,134 @@
+"""PlotSpec renderers: text tables, ASCII charts, SVG line charts.
+
+The SVG output reproduces the layout of paper Fig. 6: one sub-graph
+per facet, shared y-axis, automatic legend, constant parameters listed
+above the graphs.
+"""
+
+from __future__ import annotations
+
+from repro.expt.easyplot import PlotSpec
+from repro.view.colors import cpu_color
+from repro.view.svg import SvgCanvas
+
+__all__ = ["render_text", "render_ascii_chart", "render_svg"]
+
+
+def render_text(spec: PlotSpec) -> str:
+    """Tabular rendering: one table per facet, series as columns."""
+    out = [spec.header()]
+    for facet in spec.facets:
+        if facet.title:
+            out.append(f"\n== {facet.title} ==")
+        xs = sorted({x for s in facet.series for x in s.xs}, key=lambda v: (str(type(v)), v))
+        labels = [s.label for s in facet.series]
+        widths = [max(len(l), 10) for l in labels]
+        header = f"{spec.x:>10} | " + " | ".join(
+            f"{l:>{w}}" for l, w in zip(labels, widths)
+        )
+        out.append(header)
+        out.append("-" * len(header))
+        for x in xs:
+            cells = []
+            for s, w in zip(facet.series, widths):
+                v = s.point(x)
+                cells.append(f"{v:>{w}.3f}" if v is not None else " " * (w - 1) + "-")
+            out.append(f"{str(x):>10} | " + " | ".join(cells))
+    return "\n".join(out)
+
+
+def render_ascii_chart(spec: PlotSpec, height: int = 16, width: int = 60) -> str:
+    """Quick terminal chart (one block per facet, series as letters)."""
+    out = [spec.header()]
+    for facet in spec.facets:
+        if facet.title:
+            out.append(f"-- {facet.title} --")
+        pts = [(x, y, i) for i, s in enumerate(facet.series) for x, y in zip(s.xs, s.ys)]
+        if not pts:
+            out.append("(no data)")
+            continue
+        xs = sorted({p[0] for p in pts}, key=lambda v: (str(type(v)), v))
+        ymax = max(p[1] for p in pts) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for x, y, i in pts:
+            cx = int(xs.index(x) / max(len(xs) - 1, 1) * (width - 1))
+            cy = height - 1 - int(y / ymax * (height - 1))
+            grid[cy][cx] = chr(ord("A") + i % 26)
+        out.append(f"ymax={ymax:.3f} ({spec.ylabel})")
+        out.extend("|" + "".join(row) for row in grid)
+        out.append("+" + "-" * width)
+        out.append(" x: " + " ".join(str(x) for x in xs))
+        for i, s in enumerate(facet.series):
+            out.append(f"  {chr(ord('A') + i % 26)} = {s.label}")
+    return "\n".join(out)
+
+
+def render_svg(spec: PlotSpec, *, facet_width: float = 360.0, height: float = 300.0) -> SvgCanvas:
+    """Fig. 6-style SVG: faceted line charts + legend + parameter line."""
+    nfacets = max(len(spec.facets), 1)
+    legend_h = 18.0 * max(
+        (len(f.series) for f in spec.facets), default=0
+    ) + 10
+    total_w = facet_width * nfacets + 20
+    total_h = height + legend_h + 60
+    svg = SvgCanvas(total_w, total_h)
+    svg.text(10, 16, spec.header(), size=11)
+
+    # global y scale across facets (shared axis, like the paper's figure)
+    ymax = max(
+        (y + e for f in spec.facets for s in f.series for y, e in zip(s.ys, s.yerr)),
+        default=1.0,
+    ) or 1.0
+    plot_top, plot_bottom = 40.0, 40.0 + height - 60
+    plot_h = plot_bottom - plot_top
+
+    for fi, facet in enumerate(spec.facets):
+        ox = 10 + fi * facet_width + 40
+        inner_w = facet_width - 70
+        svg.text(ox + inner_w / 2, plot_top - 8, facet.title, anchor="middle", size=11)
+        # axes
+        svg.line(ox, plot_top, ox, plot_bottom, stroke="#404040")
+        svg.line(ox, plot_bottom, ox + inner_w, plot_bottom, stroke="#404040")
+        # y ticks
+        for k in range(5):
+            yv = ymax * k / 4
+            yy = plot_bottom - plot_h * k / 4
+            svg.line(ox - 3, yy, ox, yy, stroke="#404040")
+            svg.text(ox - 6, yy + 4, f"{yv:.3g}", anchor="end", size=9)
+        xs = sorted(
+            {x for s in facet.series for x in s.xs},
+            key=lambda v: (str(type(v)), v),
+        )
+        def xpos(x):
+            if len(xs) <= 1:
+                return ox + inner_w / 2
+            return ox + xs.index(x) / (len(xs) - 1) * inner_w
+        for x in xs:
+            svg.text(xpos(x), plot_bottom + 14, str(x), anchor="middle", size=9)
+        svg.text(ox + inner_w / 2, plot_bottom + 30, spec.x, anchor="middle", size=10)
+        for si, s in enumerate(facet.series):
+            r, g, b = cpu_color(si)
+            color = f"rgb({r},{g},{b})"
+            pts = [
+                (xpos(x), plot_bottom - (y / ymax) * plot_h)
+                for x, y in zip(s.xs, s.ys)
+            ]
+            if len(pts) > 1:
+                svg.polyline(pts, stroke=color)
+            for (px, py), err in zip(pts, s.yerr):
+                svg.circle(px, py, 2.5, fill=color)
+                if err > 0:
+                    dy = (err / ymax) * plot_h
+                    svg.line(px, py - dy, px, py + dy, stroke=color)
+
+    # legend (series labels are identical across facets by construction)
+    if spec.facets and spec.facets[0].series:
+        ly = plot_bottom + 48
+        svg.text(10, ly, "legend", size=10)
+        for si, s in enumerate(spec.facets[0].series):
+            r, g, b = cpu_color(si)
+            yy = ly + 14 + si * 16
+            svg.line(14, yy - 4, 34, yy - 4, stroke=f"rgb({r},{g},{b})", width=2)
+            svg.text(40, yy, s.label, size=10)
+    svg.text(10, 30, f"y: {spec.ylabel}", size=10)
+    return svg

@@ -1,0 +1,144 @@
+"""Work-profile capture & replay: fast parameter sweeps.
+
+A kernel's per-tile *work* is deterministic and independent of thread
+count and schedule (iteration-independence is precisely what a
+worksharing loop requires).  So a sweep over (threads x schedule) only
+needs the kernel to run **once** per workload: the captured sequence of
+parallel regions (with their work vectors and task graphs) is then
+re-simulated under each configuration.
+
+Replayed times are identical to full runs — the simulator sees the
+same costs either way — which makes paper-Fig. 6-sized sweeps (dozens
+of configurations x 10 repetitions) run in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import RunConfig
+from repro.core.context import ExecutionContext
+from repro.core.kernel import get_kernel
+from repro.errors import ConfigError
+from repro.sched.costmodel import CostModel
+from repro.sched.simulator import simulate
+from repro.sched.taskgraph import TaskGraph
+from repro.sched.dag_sim import simulate_dag
+
+__all__ = ["RegionLog", "WorkProfileCache", "replay_log"]
+
+
+#: log entry kinds (first tuple element)
+PAR, SEQ, MASTER, DAG = "par", "seq", "master", "dag"
+
+RegionLog = list  # list of ("par", works) / ("seq", works) / ("master", w) / ("dag", works, preds)
+
+
+def capture_log(config: RunConfig) -> tuple[RegionLog, CostModel]:
+    """Run ``config`` once, recording every region's work profile."""
+    from repro.core.engine import run
+
+    if config.mpi_np:
+        raise ConfigError("work-profile replay does not support MPI runs")
+    capture_cfg = config.with_(monitoring=False, trace=False)
+    log: RegionLog = []
+    kernel = get_kernel(capture_cfg.kernel)
+    compute = kernel.compute_fn(capture_cfg.variant)
+    ctx = ExecutionContext(capture_cfg)
+    ctx.region_log = log
+    kernel.init(ctx)
+    kernel.draw(ctx)
+    compute(ctx, capture_cfg.iterations)
+    kernel.finalize(ctx)
+    return log, ctx.model
+
+
+def replay_log(
+    log: RegionLog,
+    *,
+    nthreads: int,
+    policy,
+    model: CostModel,
+    jitter: float = 0.0,
+    jitter_rng=None,
+) -> float:
+    """Virtual elapsed time of the captured run under a new configuration.
+
+    When ``jitter > 0``, ``jitter_rng`` must be the stream a full run
+    would use (:func:`repro.util.rng.make_jitter_rng`); noise is drawn
+    region by region in the same order, so replayed times equal full-run
+    times exactly, noise included.
+    """
+    from repro.sched.costmodel import perturb
+
+    def noisy(costs: list[float]) -> list[float]:
+        if jitter <= 0.0:
+            return costs
+        return perturb(costs, jitter_rng, jitter)
+
+    vclock = 0.0
+    for entry in log:
+        kind = entry[0]
+        if kind == PAR:
+            costs = noisy(model.times_of(entry[1]))
+            res = simulate(costs, policy, nthreads, model=model, start_time=vclock)
+            vclock = max(res.timeline.makespan, vclock) + model.fork_join_overhead
+        elif kind == SEQ:
+            vclock += sum(noisy(model.times_of(entry[1])))
+        elif kind == MASTER:
+            vclock += model.time_of(entry[1])
+        elif kind == DAG:
+            works, preds = entry[1], entry[2]
+            costs = noisy(model.times_of(works))
+            graph = TaskGraph()
+            for i, c in enumerate(costs):
+                graph.add_task(None, c, depends_on=preds[i])
+            tl = simulate_dag(graph, nthreads, model=model, start_time=vclock)
+            vclock = max(tl.makespan, vclock) + model.fork_join_overhead
+        else:  # pragma: no cover - defensive
+            raise ConfigError(f"unknown region log entry {kind!r}")
+    return vclock
+
+
+@dataclass
+class WorkProfileCache:
+    """Memoizes work profiles by workload key; replays per configuration."""
+
+    _cache: dict[tuple, tuple[RegionLog, CostModel]] = field(default_factory=dict)
+
+    @staticmethod
+    def workload_key(config: RunConfig) -> tuple:
+        """Everything the work profile depends on (NOT threads/schedule)."""
+        return (
+            config.kernel,
+            config.variant,
+            config.dim,
+            config.tile_w,
+            config.tile_h,
+            config.iterations,
+            config.arg,
+            config.seed,
+            config.time_scale,
+            config.backend,
+        )
+
+    def profile(self, config: RunConfig) -> tuple[RegionLog, CostModel]:
+        key = self.workload_key(config)
+        if key not in self._cache:
+            self._cache[key] = capture_log(config)
+        return self._cache[key]
+
+    def simulate(self, config: RunConfig) -> float:
+        """Elapsed virtual seconds of ``config`` (captures on first use)."""
+        from repro.util.rng import make_jitter_rng
+
+        log, model = self.profile(config)
+        return replay_log(
+            log,
+            nthreads=config.nthreads,
+            policy=config.policy(),
+            model=model,
+            jitter=config.jitter,
+            jitter_rng=make_jitter_rng(config.seed, config.run_index),
+        )

@@ -1,0 +1,5 @@
+"""GPU substrate: a SIMT device simulator with profiling events."""
+
+from repro.gpu.device import DeviceSpec, GpuDevice, LaunchResult, divergence_penalty
+
+__all__ = ["DeviceSpec", "GpuDevice", "LaunchResult", "divergence_penalty"]

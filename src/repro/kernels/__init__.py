@@ -1,0 +1,48 @@
+"""Built-in kernels.
+
+Importing this package registers every predefined kernel (the EASYPAP
+distribution model: kernels are discovered at build time; here, at
+import time).  Use :func:`repro.core.kernel.list_kernels` to enumerate
+them and :func:`repro.core.kernel.get_kernel` to instantiate one.
+"""
+
+from repro.kernels import (  # noqa: F401  (import side effect: registration)
+    blur,
+    connected,
+    heat,
+    life,
+    mandel,
+    sandpile,
+    scrollup,
+    simple,
+    spin,
+)
+from repro.kernels.blur import BlurKernel
+from repro.kernels.connected import ConnectedKernel
+from repro.kernels.heat import HeatKernel
+from repro.kernels.life import LifeKernel
+from repro.kernels.mandel import MandelKernel
+from repro.kernels.sandpile import SandpileKernel
+from repro.kernels.scrollup import ScrollupKernel
+from repro.kernels.spin import SpinKernel
+from repro.kernels.simple import (
+    InvertKernel,
+    NoneKernel,
+    PixelizeKernel,
+    TransposeKernel,
+)
+
+__all__ = [
+    "BlurKernel",
+    "ConnectedKernel",
+    "HeatKernel",
+    "ScrollupKernel",
+    "SpinKernel",
+    "LifeKernel",
+    "MandelKernel",
+    "SandpileKernel",
+    "InvertKernel",
+    "NoneKernel",
+    "PixelizeKernel",
+    "TransposeKernel",
+]

@@ -1,0 +1,91 @@
+"""Shared kernel helpers: channel math, halos, synthetic pictures.
+
+EASYPAP ships with image assets; being self-contained, we synthesize
+deterministic pictures instead (:func:`synthetic_picture`): the blur and
+pixelize assignments only need "a picture with structure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+__all__ = [
+    "split_channels",
+    "merge_channels",
+    "clipped_halo",
+    "synthetic_picture",
+    "SCALAR_PIXEL_WORK",
+    "VECTOR_PIXEL_WORK",
+]
+
+#: work units charged per pixel computed through a scalar, branchy code
+#: path (the student's conditional-laden stencil loop).
+SCALAR_PIXEL_WORK = 40.0
+
+#: work units per pixel through a branch-free, auto-vectorized path —
+#: the x8 AVX2 factor the paper measures on inner blur tiles (§III-B).
+VECTOR_PIXEL_WORK = SCALAR_PIXEL_WORK / 8.0
+
+
+def split_channels(pixels: np.ndarray) -> np.ndarray:
+    """``(h, w)`` uint32 -> ``(4, h, w)`` float64 channel planes (r, g, b, a)."""
+    return np.stack(
+        [
+            (pixels >> 24 & 0xFF),
+            (pixels >> 16 & 0xFF),
+            (pixels >> 8 & 0xFF),
+            (pixels & 0xFF),
+        ]
+    ).astype(np.float64)
+
+
+def merge_channels(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_channels` (values are clipped to [0, 255])."""
+    p = np.clip(np.rint(planes), 0, 255).astype(np.uint32)
+    return (p[0] << 24) | (p[1] << 16) | (p[2] << 8) | p[3]
+
+
+def clipped_halo(
+    img: np.ndarray, x: int, y: int, w: int, h: int, halo: int = 1
+) -> tuple[np.ndarray, int, int]:
+    """A view of the tile plus up to ``halo`` pixels around it, clipped
+    to the image; returns ``(region, oy, ox)`` where (oy, ox) locate the
+    tile's origin inside the region."""
+    dim_y, dim_x = img.shape
+    y0 = max(y - halo, 0)
+    x0 = max(x - halo, 0)
+    y1 = min(y + h + halo, dim_y)
+    x1 = min(x + w + halo, dim_x)
+    return img[y0:y1, x0:x1], y - y0, x - x0
+
+
+def synthetic_picture(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """A deterministic colorful test picture (gradient + discs + noise).
+
+    Plays the role of EASYPAP's sample images for blur/pixelize: it has
+    smooth areas, hard edges and texture, so filtering is visible.
+    """
+    yy, xx = np.mgrid[0:dim, 0:dim]
+    r = (255.0 * xx / max(dim - 1, 1)).astype(np.int64)
+    g = (255.0 * yy / max(dim - 1, 1)).astype(np.int64)
+    b = (128.0 + 127.0 * np.sin(2.0 * np.pi * (xx + yy) / max(dim / 4.0, 1.0))).astype(
+        np.int64
+    )
+    # hard-edged discs of saturated colors
+    for _ in range(8):
+        cy, cx = rng.integers(0, dim, size=2)
+        rad = int(rng.integers(max(dim // 16, 2), max(dim // 4, 3)))
+        color = rng.integers(0, 256, size=3)
+        mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= rad * rad
+        r[mask], g[mask], b[mask] = color
+    noise = rng.integers(-10, 11, size=(dim, dim))
+    r = np.clip(r + noise, 0, 255)
+    g = np.clip(g + noise, 0, 255)
+    b = np.clip(b + noise, 0, 255)
+    return (
+        (r.astype(np.uint32) << 24)
+        | (g.astype(np.uint32) << 16)
+        | (b.astype(np.uint32) << 8)
+        | np.uint32(0xFF)
+    )

@@ -1,0 +1,243 @@
+"""Picture blurring: the 2D stencil assignment (paper §III-B).
+
+At each iteration every pixel of the next image receives the average of
+the up-to-3x3 neighbourhood read from the current image; buffers swap
+between iterations.
+
+Two parallel tiled variants reproduce the Fig. 10 experiment:
+
+* ``omp_tiled`` — the *basic* version: every tile runs the
+  conditional-laden code path (per-pixel boundary tests), which does not
+  vectorize.  Work model: :data:`SCALAR_PIXEL_WORK` per pixel.
+* ``omp_tiled_opt`` — the optimized version: tiles that touch the image
+  border keep the branchy path, *inner* tiles run the branch-free bulk
+  path which auto-vectorizes (x8 in the paper on AVX2).  Work model:
+  :data:`VECTOR_PIXEL_WORK` per inner-tile pixel.
+
+Both compute bit-identical images; only their costs differ — exactly
+the paper's story, where the x10 observed task speedup is "mostly
+imputable to compiler auto-vectorization".
+
+The pure-Python ``seq`` variant *is* the scalar code (loops and ifs);
+it is the correctness oracle for the vectorized paths (tests compare
+them on small images).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+from repro.kernels.api import (
+    SCALAR_PIXEL_WORK,
+    VECTOR_PIXEL_WORK,
+    merge_channels,
+    split_channels,
+    synthetic_picture,
+)
+
+__all__ = ["BlurKernel", "blur_rect_vectorized", "blur_rect_scalar"]
+
+
+def blur_rect_vectorized(src: np.ndarray, dst: np.ndarray, x: int, y: int, w: int, h: int) -> None:
+    """Blur the rectangle (x, y, w, h) of ``src`` into ``dst``.
+
+    Handles image borders by averaging over the neighbours that exist
+    (variable divisor), entirely with NumPy shifts — the "compiled
+    bulk code" stand-in.
+    """
+    dim_y, dim_x = src.shape
+    planes = split_channels(src)
+    acc = np.zeros((4, h, w))
+    cnt = np.zeros((h, w))
+    for dy in (-1, 0, 1):
+        sy0 = y + dy
+        for dx in (-1, 0, 1):
+            sx0 = x + dx
+            # clip the shifted window to the image
+            ty0 = max(0, -sy0)
+            tx0 = max(0, -sx0)
+            ty1 = h - max(0, sy0 + h - dim_y)
+            tx1 = w - max(0, sx0 + w - dim_x)
+            if ty0 >= ty1 or tx0 >= tx1:
+                continue
+            acc[:, ty0:ty1, tx0:tx1] += planes[
+                :, sy0 + ty0 : sy0 + ty1, sx0 + tx0 : sx0 + tx1
+            ]
+            cnt[ty0:ty1, tx0:tx1] += 1.0
+    dst[y : y + h, x : x + w] = merge_channels(acc / cnt)
+
+
+def blur_rect_scalar(src: np.ndarray, dst: np.ndarray, x: int, y: int, w: int, h: int) -> None:
+    """The student's naive per-pixel loop with boundary conditionals.
+
+    Deliberately scalar Python — the slow, branchy code path whose real
+    cost ratio against :func:`blur_rect_vectorized` is measured by the
+    Fig. 10 benchmark.
+    """
+    dim = src.shape[0]
+    for i in range(y, y + h):
+        for j in range(x, x + w):
+            r = g = b = a = 0
+            n = 0
+            for di in (-1, 0, 1):
+                for dj in (-1, 0, 1):
+                    yy = i + di
+                    xx = j + dj
+                    if 0 <= yy < dim and 0 <= xx < dim:
+                        p = int(src[yy, xx])
+                        r += p >> 24 & 0xFF
+                        g += p >> 16 & 0xFF
+                        b += p >> 8 & 0xFF
+                        a += p & 0xFF
+                        n += 1
+            dst[i, j] = (
+                (round(r / n) << 24)
+                | (round(g / n) << 16)
+                | (round(b / n) << 8)
+                | round(a / n)
+            )
+
+
+@register_kernel
+class BlurKernel(Kernel):
+    """Kernel ``blur`` with variants seq / tiled / omp_tiled / omp_tiled_opt."""
+
+    name = "blur"
+
+    def draw(self, ctx) -> None:
+        ctx.img.load(synthetic_picture(ctx.dim, ctx.rng))
+
+    # -- tile bodies --------------------------------------------------------------
+    def do_tile_basic(self, ctx, tile: Tile) -> float:
+        """Branchy path everywhere (students' first tiled version)."""
+        x, y, w, h = tile.as_rect()
+        blur_rect_vectorized(ctx.img.cur, ctx.img.nxt, x, y, w, h)
+        return tile.area * SCALAR_PIXEL_WORK
+
+    def do_tile_opt(self, ctx, tile: Tile) -> float:
+        """Branch-free bulk path for inner tiles, branchy for border ones."""
+        x, y, w, h = tile.as_rect()
+        blur_rect_vectorized(ctx.img.cur, ctx.img.nxt, x, y, w, h)
+        is_border = (
+            tile.row == 0
+            or tile.col == 0
+            or tile.row == ctx.grid.rows - 1
+            or tile.col == ctx.grid.cols - 1
+        )
+        return tile.area * (SCALAR_PIXEL_WORK if is_border else VECTOR_PIXEL_WORK)
+
+    def do_tile_scalar(self, ctx, tile: Tile) -> float:
+        """Actually scalar Python (used by ``seq`` and the Fig. 10 bench)."""
+        x, y, w, h = tile.as_rect()
+        blur_rect_scalar(ctx.img.cur, ctx.img.nxt, x, y, w, h)
+        return tile.area * SCALAR_PIXEL_WORK
+
+    # -- variants -------------------------------------------------------------------
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        """Reference: per-pixel scalar loops over the whole image."""
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: self.do_tile_scalar(ctx, t))
+            ctx.swap_images()
+        return 0
+
+    @variant("tiled")
+    def compute_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: self.do_tile_basic(ctx, t))
+            ctx.swap_images()
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        """Basic parallel tiled version (bottom trace of Fig. 10)."""
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self.do_tile_basic(ctx, t))
+            ctx.run_on_master(ctx.swap_images)
+        return 0
+
+    @variant("omp_tiled_opt")
+    def compute_omp_tiled_opt(self, ctx, nb_iter: int) -> int:
+        """Optimized version: no conditionals in inner tiles (top trace)."""
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self.do_tile_opt(ctx, t))
+            ctx.run_on_master(ctx.swap_images)
+        return 0
+
+    @variant("ocl")
+    def compute_ocl(self, ctx, nb_iter: int) -> int:
+        """OpenCL-style execution: uniform branch-free lanes, but the
+        whole frame crosses the bus twice per iteration — blur on a GPU
+        is *transfer-bound*, the mirror lesson of mandel's compute-bound
+        ``ocl`` variant (``ctx.data['transfer_fraction']`` tells which)."""
+        from repro.errors import ConfigError
+        from repro.gpu.device import DeviceSpec, GpuDevice
+        from repro.kernels.api import VECTOR_PIXEL_WORK
+
+        if ctx.dim % ctx.grid.tile_w or ctx.dim % ctx.grid.tile_h:
+            raise ConfigError("ocl variant needs tile sizes dividing the image")
+        device = GpuDevice(DeviceSpec(num_cus=ctx.nthreads), model=ctx.model)
+        lane = np.full((ctx.dim, ctx.dim), VECTOR_PIXEL_WORK)
+        nbytes = ctx.dim * ctx.dim * 4
+        for _ in ctx.iterations(nb_iter):
+            blur_rect_vectorized(ctx.img.cur, ctx.img.nxt, 0, 0, ctx.dim, ctx.dim)
+            launch = device.launch(
+                lane,
+                group_w=ctx.grid.tile_w,
+                group_h=ctx.grid.tile_h,
+                items=list(ctx.grid),
+                start_time=ctx.vclock,
+                meta={"iteration": ctx.iteration, "kind": "ocl"},
+                transfer_in_bytes=nbytes,
+                transfer_out_bytes=nbytes,
+            )
+            ctx.data["transfer_fraction"] = launch.transfer_fraction
+            ctx.vclock = max(launch.makespan, ctx.vclock) + ctx.model.fork_join_overhead
+            ctx.record_timeline(launch.timeline)
+            ctx.swap_images()
+        return 0
+
+    # -- MPI: band decomposition with ghost-row exchange ----------------------
+    @variant("mpi_omp")
+    def compute_mpi_omp(self, ctx, nb_iter: int) -> int:
+        """Distributed stencil: each rank owns a row band of the image;
+        boundary rows are exchanged with the neighbours before every
+        iteration (the ghost-cell pattern students learn in §III-D),
+        tiles inside the band run under the OpenMP schedule.
+        """
+        if ctx.mpi is None:
+            raise RuntimeError("variant mpi_omp requires --mpirun (mpi_np > 0)")
+        from repro.errors import ConfigError
+        from repro.mpi.decomposition import band_of
+
+        mpi = ctx.mpi
+        y0, h = band_of(mpi.rank, mpi.size, ctx.dim)
+        if y0 % ctx.grid.tile_h or ((y0 + h) % ctx.grid.tile_h and (y0 + h) != ctx.dim):
+            raise ConfigError(
+                "blur/mpi_omp requires rank bands aligned to tile rows "
+                f"(dim={ctx.dim}, np={mpi.size}, tile_h={ctx.grid.tile_h})"
+            )
+        tiles = [t for t in ctx.grid if y0 <= t.y < y0 + h]
+        comm = mpi.comm
+        up, down = mpi.rank - 1, mpi.rank + 1
+        for _ in ctx.iterations(nb_iter):
+            # ghost-row exchange: receive the neighbour's boundary row of
+            # the *current* image into our halo row
+            if up >= 0:
+                ctx.img.cur[y0 - 1] = comm.sendrecv(
+                    ctx.img.cur[y0].copy(), dest=up, source=up
+                )
+            if down < mpi.size:
+                ctx.img.cur[y0 + h] = comm.sendrecv(
+                    ctx.img.cur[y0 + h - 1].copy(), dest=down, source=down
+                )
+            ctx.parallel_for(lambda t: self.do_tile_opt(ctx, t), tiles)
+            ctx.run_on_master(ctx.swap_images)
+        # compose the final picture on the master for display/result
+        gathered = comm.gather((y0, ctx.img.cur[y0 : y0 + h].copy()), root=0)
+        if mpi.rank == 0 and gathered:
+            for gy0, band in gathered:
+                ctx.img.cur[gy0 : gy0 + band.shape[0]] = band
+        return 0

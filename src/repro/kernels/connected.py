@@ -1,0 +1,268 @@
+"""Connected-components detection (paper §III-C, Figs. 11–12).
+
+Each connected component (4-connectivity, separated by transparent
+pixels) must end up in a unique color.  The algorithm first reassigns
+every foreground pixel a unique label, then alternates two propagation
+phases per iteration until a steady state:
+
+* **down-right**: scan-order pass where each pixel takes the max of
+  itself, its up and its left foreground neighbours;
+* **up-left**: the symmetric reverse pass.
+
+The challenge is parallelizing *without extra iterations*: a tile may
+only run once its left+upper (resp. right+lower) neighbours completed.
+``omp_task`` expresses exactly the OpenMP task dependencies of Fig. 11;
+EASYVIEW then shows the diagonal wave of tasks (Fig. 12).
+
+Labels are stored directly in the image: background is 0, foreground
+pixels carry ``((y * dim + x + 1) << 8) | 0xFF`` so the alpha byte stays
+opaque and every label is unique.  After convergence, each component is
+uniformly colored by its maximum label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+from repro.util.rng import make_rng
+
+__all__ = ["ConnectedKernel", "draw_shapes", "draw_snake", "draw_spiral"]
+
+#: work units per pixel of a propagation pass (scalar-ish scanning code)
+CC_PIXEL_WORK = 12.0
+
+
+def _seg_cummax_inplace(a: np.ndarray) -> bool:
+    """Running max within each nonzero segment of ``a`` (zeros reset).
+
+    Returns True if any value changed.  Segments are processed as
+    vectorized slices, so cost is O(n) + O(#segments) Python overhead.
+    """
+    fg = a != 0
+    if not fg.any():
+        return False
+    d = np.diff(fg.astype(np.int8))
+    starts = np.flatnonzero(d == 1) + 1
+    ends = np.flatnonzero(d == -1) + 1
+    if fg[0]:
+        starts = np.concatenate(([0], starts))
+    if fg[-1]:
+        ends = np.concatenate((ends, [a.size]))
+    changed = False
+    for s, e in zip(starts, ends):
+        seg = a[s:e]
+        m = np.maximum.accumulate(seg)
+        if m[-1] != seg[-1] or not np.array_equal(m, seg):
+            a[s:e] = m
+            changed = True
+    return changed
+
+
+def pass_down_right(img: np.ndarray, x: int, y: int, w: int, h: int) -> bool:
+    """One scan-order down-right pass over the rectangle, reading the
+    final values of the row above / column left of the rectangle
+    (which the dependency order guarantees are complete)."""
+    changed = False
+    for i in range(y, y + h):
+        row = img[i, x : x + w]
+        fg = row != 0
+        if i > 0:
+            up = img[i - 1, x : x + w]
+            merged = np.where(fg & (up != 0), np.maximum(row, up), row)
+            if not np.array_equal(merged, row):
+                changed = True
+                row[:] = merged
+        if x > 0 and row[0] != 0:
+            left = img[i, x - 1]
+            if left != 0 and left > row[0]:
+                row[0] = left
+                changed = True
+        if _seg_cummax_inplace(row):
+            changed = True
+    return changed
+
+
+def pass_up_left(img: np.ndarray, x: int, y: int, w: int, h: int) -> bool:
+    """The symmetric reverse pass (bottom-up, right-to-left)."""
+    dim_y, dim_x = img.shape
+    changed = False
+    for i in range(y + h - 1, y - 1, -1):
+        row = img[i, x : x + w]
+        fg = row != 0
+        if i + 1 < dim_y:
+            down = img[i + 1, x : x + w]
+            merged = np.where(fg & (down != 0), np.maximum(row, down), row)
+            if not np.array_equal(merged, row):
+                changed = True
+                row[:] = merged
+        if x + w < dim_x and row[-1] != 0:
+            right = img[i, x + w]
+            if right != 0 and right > row[-1]:
+                row[-1] = right
+                changed = True
+        rev = row[::-1]
+        if _seg_cummax_inplace(rev):
+            changed = True
+    return changed
+
+
+# --------------------------------------------------------------------------
+# Datasets
+# --------------------------------------------------------------------------
+
+
+def draw_shapes(dim: int, seed: int | None = None, nshapes: int = 12) -> np.ndarray:
+    """Random discs and rectangles of arbitrary colors on transparency."""
+    rng = make_rng(seed)
+    img = np.zeros((dim, dim), dtype=np.uint32)
+    yy, xx = np.mgrid[0:dim, 0:dim]
+    for _ in range(nshapes):
+        color = np.uint32(int(rng.integers(1, 2**24)) << 8 | 0xFF)
+        if rng.random() < 0.5:
+            cy, cx = rng.integers(0, dim, size=2)
+            rad = int(rng.integers(max(dim // 20, 2), max(dim // 6, 3)))
+            mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= rad * rad
+        else:
+            y0, x0 = rng.integers(0, max(dim - 4, 1), size=2)
+            hh, ww = rng.integers(3, max(dim // 5, 4), size=2)
+            mask = (yy >= y0) & (yy < y0 + hh) & (xx >= x0) & (xx < x0 + ww)
+        img[mask] = color
+    return img
+
+
+def draw_snake(dim: int, seed: int | None = None) -> np.ndarray:
+    """A single serpentine path: the worst case for max propagation.
+
+    One connected component shaped like a boustrophedon snake — the
+    maximum label must crawl through every direction reversal, so the
+    number of down-right/up-left rounds grows with the image size
+    (students discover why "one pass is not enough").
+    """
+    img = np.zeros((dim, dim), dtype=np.uint32)
+    color = np.uint32(0x00AACCFF)
+    prev_row = None
+    for row in range(1, dim - 1, 2):
+        img[row, 1 : dim - 1] = color
+        if prev_row is not None:
+            # connector alternates between the right and left ends
+            side = dim - 2 if ((row - 1) // 2) % 2 == 1 else 1
+            img[prev_row : row + 1, side] = color
+        prev_row = row
+    return img
+
+
+#: backwards-compatible alias (the dataset is selected as --arg snake)
+draw_spiral = draw_snake
+
+
+# --------------------------------------------------------------------------
+# Kernel
+# --------------------------------------------------------------------------
+
+
+@register_kernel
+class ConnectedKernel(Kernel):
+    """Kernel ``cc`` with variants seq / tiled / omp_task."""
+
+    name = "cc"
+
+    def draw(self, ctx) -> None:
+        dataset = (ctx.arg or "shapes").lower()
+        if dataset in ("snake", "spiral"):
+            ctx.img.load(draw_snake(ctx.dim, ctx.config.seed))
+        else:
+            ctx.img.load(draw_shapes(ctx.dim, ctx.config.seed))
+
+    def init(self, ctx) -> None:
+        ctx.data["labelled"] = False
+
+    def _assign_labels(self, ctx) -> None:
+        """Reassign each foreground pixel a unique label (first phase)."""
+        img = ctx.img.cur
+        dim = ctx.dim
+        yy, xx = np.mgrid[0:dim, 0:dim]
+        labels = (((yy * dim + xx + 1) << 8) | 0xFF).astype(np.uint32)
+        img[:] = np.where(img != 0, labels, 0)
+        ctx.data["labelled"] = True
+
+    # -- tile bodies ---------------------------------------------------------
+    def _tile_dr(self, ctx, tile: Tile) -> float:
+        changed = pass_down_right(ctx.img.cur, tile.x, tile.y, tile.w, tile.h)
+        if changed:
+            ctx.data["changed"] = True
+        return tile.area * CC_PIXEL_WORK
+
+    def _tile_ul(self, ctx, tile: Tile) -> float:
+        changed = pass_up_left(ctx.img.cur, tile.x, tile.y, tile.w, tile.h)
+        if changed:
+            ctx.data["changed"] = True
+        return tile.area * CC_PIXEL_WORK
+
+    # -- variants ----------------------------------------------------------------
+    def _full_pass(self, ctx, pass_fn) -> None:
+        """Run a whole-image pass as a single monitored phase."""
+
+        def body(_):
+            if pass_fn(ctx.img.cur, 0, 0, ctx.dim, ctx.dim):
+                ctx.data["changed"] = True
+            return ctx.dim * ctx.dim * CC_PIXEL_WORK
+
+        ctx.sequential_for(body, items=[0], kind="phase")
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        if not ctx.data["labelled"]:
+            ctx.run_on_master(lambda: self._assign_labels(ctx), work=ctx.dim * ctx.dim)
+        for it in ctx.iterations(nb_iter):
+            ctx.data["changed"] = False
+            self._full_pass(ctx, pass_down_right)
+            self._full_pass(ctx, pass_up_left)
+            if not ctx.data["changed"]:
+                return it
+        return 0
+
+    @variant("tiled")
+    def compute_tiled(self, ctx, nb_iter: int) -> int:
+        """Sequential tiles, processed in dependency-compatible order —
+        produces exactly the same image as ``seq`` at every iteration."""
+        if not ctx.data["labelled"]:
+            ctx.run_on_master(lambda: self._assign_labels(ctx), work=ctx.dim * ctx.dim)
+        tiles = list(ctx.grid)
+        for it in ctx.iterations(nb_iter):
+            ctx.data["changed"] = False
+            ctx.sequential_for(lambda t: self._tile_dr(ctx, t), tiles)
+            ctx.sequential_for(lambda t: self._tile_ul(ctx, t), list(reversed(tiles)))
+            if not ctx.data["changed"]:
+                return it
+        return 0
+
+    @variant("omp_task")
+    def compute_omp_task(self, ctx, nb_iter: int) -> int:
+        """OpenMP tasks with dependencies (Fig. 11): during the
+        down-right phase a tile waits for its left and upper neighbours;
+        the up-left phase mirrors it."""
+        if not ctx.data["labelled"]:
+            ctx.run_on_master(lambda: self._assign_labels(ctx), work=ctx.dim * ctx.dim)
+        for it in ctx.iterations(nb_iter):
+            ctx.data["changed"] = False
+            with ctx.task_region(kind="task_dr") as tr:
+                for t in ctx.grid:
+                    tr.task(
+                        lambda t=t: self._tile_dr(ctx, t),
+                        item=t,
+                        reads=[(t.row - 1, t.col), (t.row, t.col - 1)],
+                        writes=[(t.row, t.col)],
+                    )
+            with ctx.task_region(kind="task_ul") as tr:
+                for t in reversed(list(ctx.grid)):
+                    tr.task(
+                        lambda t=t: self._tile_ul(ctx, t),
+                        item=t,
+                        reads=[(t.row + 1, t.col), (t.row, t.col + 1)],
+                        writes=[(t.row, t.col)],
+                    )
+            if not ctx.data["changed"]:
+                return it
+        return 0

@@ -1,0 +1,242 @@
+"""The Mandelbrot kernel (paper §II-A, §III-A).
+
+The flagship EASYPAP assignment: trivially parallel, heavily imbalanced
+— pixels inside the set cost ``max_iter`` escape-loop iterations while
+far-away pixels escape immediately, so static tile distribution starves
+some threads (Fig. 3) and dynamic policies shine (Figs. 4, 6, 8).
+
+The per-tile *work* is the exact number of escape-loop iterations
+executed — deterministic, so simulated timelines are reproducible
+bit-for-bit across machines.
+
+Each animation iteration applies ``zoom()``, slightly shrinking the
+viewport around a fixed point, exactly like the original kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+
+__all__ = ["MandelKernel", "mandel_counts", "DEFAULT_MAX_ITER"]
+
+DEFAULT_MAX_ITER = 256
+
+# Initial viewport (covers the whole set, with the heavy region off-center
+# so static distributions are visibly imbalanced, as in paper Fig. 3).
+LEFT, RIGHT = -2.5, 1.5
+TOP, BOTTOM = 1.5, -2.5  # heavy black area towards the bottom of the image
+
+# Zoom target: a classic deep-zoom point on the set's boundary.
+ZOOM_X, ZOOM_Y = -0.743643887037151, 0.13182590420533
+ZOOM_FACTOR = 0.96
+
+
+def mandel_counts(
+    cr: np.ndarray,
+    ci: np.ndarray,
+    max_iter: int,
+    *,
+    julia_c: tuple[float, float] | None = None,
+) -> tuple[np.ndarray, float]:
+    """Escape-iteration counts for a grid of complex points.
+
+    Returns ``(counts, work)`` where ``counts[i, j]`` is the iteration
+    at which the point escaped (``max_iter`` if it never did) and
+    ``work`` is the total number of inner-loop iterations executed —
+    the deterministic cost the simulator charges.
+
+    With ``julia_c`` set, iterates the Julia dynamics instead: z starts
+    at the pixel's coordinates and c is the fixed parameter.
+    """
+    shape = np.broadcast_shapes(cr.shape, ci.shape)
+    if julia_c is not None:
+        zr = np.broadcast_to(cr, shape).astype(np.float64).copy()
+        zi = np.broadcast_to(ci, shape).astype(np.float64).copy()
+        cr = np.float64(julia_c[0])
+        ci = np.float64(julia_c[1])
+    else:
+        zr = np.zeros(shape)
+        zi = np.zeros(shape)
+    counts = np.full(shape, max_iter, dtype=np.int32)
+    active = np.ones(shape, dtype=bool)
+    work = 0.0
+    # dead lanes keep being updated (and may overflow to inf/nan) but are
+    # never read again and cost nothing in the work model
+    with np.errstate(over="ignore", invalid="ignore"):
+        for it in range(max_iter):
+            nactive = int(active.sum())
+            if nactive == 0:
+                break
+            work += nactive
+            zr2 = zr * zr
+            zi2 = zi * zi
+            escaped = active & (zr2 + zi2 > 4.0)
+            counts[escaped] = it
+            active &= ~escaped
+            zi = 2.0 * zr * zi + ci
+            zr = zr2 - zi2 + cr
+    return counts, work
+
+
+def _ramp(counts: np.ndarray, max_iter: int) -> np.ndarray:
+    """Map escape counts to packed RGBA (set members are black)."""
+    t = counts.astype(np.float64) / max_iter
+    inside = counts >= max_iter
+    r = np.where(inside, 0, 255.0 * np.abs(np.sin(3.0 + 7.0 * t)))
+    g = np.where(inside, 0, 255.0 * np.abs(np.sin(1.0 + 11.0 * t)))
+    b = np.where(inside, 0, 255.0 * np.abs(np.sin(4.0 + 5.0 * t)))
+    return (
+        (r.astype(np.uint32) << 24)
+        | (g.astype(np.uint32) << 16)
+        | (b.astype(np.uint32) << 8)
+        | np.uint32(0xFF)
+    )
+
+
+@register_kernel
+class MandelKernel(Kernel):
+    """Kernel ``mandel`` with variants seq / tiled / omp / omp_tiled."""
+
+    name = "mandel"
+
+    def init(self, ctx) -> None:
+        """Parse ``--arg``: an integer sets max_iter; the form
+        ``julia[:cr:ci[:max_iter]]`` switches to the Julia set of c
+        (default c = -0.8 + 0.156i, a classic dendrite)."""
+        max_iter = DEFAULT_MAX_ITER
+        julia_c = None
+        arg = (ctx.arg or "").strip()
+        if arg.lower().startswith("julia"):
+            parts = arg.split(":")
+            cr_, ci_ = -0.8, 0.156
+            if len(parts) >= 3:
+                cr_, ci_ = float(parts[1]), float(parts[2])
+            if len(parts) >= 4:
+                max_iter = int(parts[3])
+            julia_c = (cr_, ci_)
+        elif arg:
+            try:
+                max_iter = int(arg)
+            except ValueError:
+                pass
+        ctx.data["max_iter"] = max_iter
+        ctx.data["julia_c"] = julia_c
+        if julia_c is not None:
+            # Julia sets live in the unit-ish disk; center the view
+            ctx.data["view"] = [-1.8, 1.8, 1.8, -1.8]
+        else:
+            ctx.data["view"] = [LEFT, RIGHT, TOP, BOTTOM]
+
+    # -- coordinate helpers ----------------------------------------------------
+    @staticmethod
+    def _coords(ctx, x: int, y: int, w: int, h: int) -> tuple[np.ndarray, np.ndarray]:
+        left, right, top, bottom = ctx.data["view"]
+        dim = ctx.dim
+        xstep = (right - left) / dim
+        ystep = (top - bottom) / dim
+        cr = left + (x + np.arange(w)) * xstep
+        ci = top - (y + np.arange(h)) * ystep
+        return cr[np.newaxis, :], ci[:, np.newaxis]
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        """Compute one tile; returns its work (escape iterations executed)."""
+        x, y, w, h = tile.as_rect()
+        cr, ci = self._coords(ctx, x, y, w, h)
+        counts, work = mandel_counts(
+            cr, ci, ctx.data["max_iter"], julia_c=ctx.data.get("julia_c")
+        )
+        ctx.img.cur_view(y, x, h, w)[:] = _ramp(counts, ctx.data["max_iter"])
+        return work
+
+    def zoom(self, ctx) -> None:
+        """Shrink the viewport around the zoom point (one animation step)."""
+        left, right, top, bottom = ctx.data["view"]
+        zx, zy = (0.0, 0.0) if ctx.data.get("julia_c") else (ZOOM_X, ZOOM_Y)
+        f = ZOOM_FACTOR
+        ctx.data["view"] = [
+            zx + (left - zx) * f,
+            zx + (right - zx) * f,
+            zy + (top - zy) * f,
+            zy + (bottom - zy) * f,
+        ]
+
+    # -- variants ---------------------------------------------------------------
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        """Whole-image scan, one virtual task per pixel row (Fig. 1)."""
+        rows = list(range(ctx.dim))
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(
+                lambda row: self._do_row(ctx, row), rows, kind="row"
+            )
+            self.zoom(ctx)
+        return 0
+
+    def _do_row(self, ctx, row: int) -> float:
+        cr, ci = self._coords(ctx, 0, row, ctx.dim, 1)
+        counts, work = mandel_counts(
+            cr, ci, ctx.data["max_iter"], julia_c=ctx.data.get("julia_c")
+        )
+        ctx.img.cur_view(row, 0, 1, ctx.dim)[:] = _ramp(counts, ctx.data["max_iter"])
+        return work
+
+    @variant("tiled")
+    def compute_tiled(self, ctx, nb_iter: int) -> int:
+        """Sequential, tile by tile (the instrumented single-thread code)."""
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            self.zoom(ctx)
+        return 0
+
+    @variant("omp")
+    def compute_omp(self, ctx, nb_iter: int) -> int:
+        """``#pragma omp parallel for`` over image lines (§II-A)."""
+        rows = list(range(ctx.dim))
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda row: self._do_row(ctx, row), rows, kind="row")
+            self.zoom(ctx)
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        """``collapse(2)`` tile loop under the configured schedule (Fig. 2)."""
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.run_on_master(lambda: self.zoom(ctx))
+        return 0
+
+    @variant("ocl")
+    def compute_ocl(self, ctx, nb_iter: int) -> int:
+        """OpenCL-style execution on the SIMT device simulator: one
+        work-group per tile, lockstep lanes — with profiling events,
+        the extension the paper lists as future work (§V)."""
+        from repro.gpu.device import DeviceSpec, GpuDevice
+
+        if ctx.dim % ctx.grid.tile_w or ctx.dim % ctx.grid.tile_h:
+            raise ValueError("ocl variant needs tile sizes dividing the image")
+        device = GpuDevice(DeviceSpec(num_cus=ctx.nthreads), model=ctx.model)
+        max_iter = ctx.data["max_iter"]
+        for _ in ctx.iterations(nb_iter):
+            cr, ci = self._coords(ctx, 0, 0, ctx.dim, ctx.dim)
+            counts, _ = mandel_counts(
+                cr, ci, max_iter, julia_c=ctx.data.get("julia_c")
+            )
+            ctx.img.cur[:] = _ramp(counts, max_iter)
+            launch = device.launch(
+                counts.astype(np.float64),
+                group_w=ctx.grid.tile_w,
+                group_h=ctx.grid.tile_h,
+                items=list(ctx.grid),
+                start_time=ctx.vclock,
+                meta={"iteration": ctx.iteration, "kind": "ocl"},
+                transfer_out_bytes=ctx.dim * ctx.dim * 4,  # the frame back
+            )
+            ctx.data["transfer_fraction"] = launch.transfer_fraction
+            ctx.data["divergence"] = launch.divergence_penalty
+            ctx.vclock = max(launch.makespan, ctx.vclock) + ctx.model.fork_join_overhead
+            ctx.record_timeline(launch.timeline)
+            self.zoom(ctx)
+        return 0

@@ -1,0 +1,51 @@
+"""The scrollup kernel: cyclically shift the image up each iteration.
+
+A pure data-movement kernel (EASYPAP ships one too): zero arithmetic,
+all bandwidth.  Useful to contrast with compute-bound kernels in the
+cache-counter extension, and to show that some loops are so cheap the
+parallel version *loses* to sequential at small sizes (fork/join and
+dispatch overheads dominate) — a classic early lesson.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+from repro.kernels.api import synthetic_picture
+
+__all__ = ["ScrollupKernel"]
+
+PIXEL_WORK = 1.0  # one copy per pixel
+
+
+@register_kernel
+class ScrollupKernel(Kernel):
+    """Kernel ``scrollup`` with variants seq / omp_tiled."""
+
+    name = "scrollup"
+
+    def draw(self, ctx) -> None:
+        ctx.img.load(synthetic_picture(ctx.dim, ctx.rng))
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        x, y, w, h = tile.as_rect()
+        dim = ctx.dim
+        src_rows = (np.arange(y, y + h) + 1) % dim
+        ctx.img.nxt[y : y + h, x : x + w] = ctx.img.cur[src_rows, x : x + w]
+        return tile.area * PIXEL_WORK
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            ctx.swap_images()
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.run_on_master(ctx.swap_images)
+        return 0

@@ -1,0 +1,110 @@
+"""Simple predefined kernels: none, invert, transpose, pixelize.
+
+These are the "very simple kernels" of the first hands-on session
+(paper §III): enough structure to learn the tiling/variant workflow and
+to calibrate monitoring, with trivially verifiable semantics.  ``none``
+does no per-pixel work at all — EASYPAP ships the same kernel; it is
+the probe we use to measure pure scheduling overhead (bench ABL1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+from repro.kernels.api import synthetic_picture
+
+__all__ = ["NoneKernel", "InvertKernel", "TransposeKernel", "PixelizeKernel"]
+
+PIXEL_WORK = 2.0  # work units per pixel for these memory-bound kernels
+
+
+class _PictureKernel(Kernel):
+    """Shared base: draw a synthetic picture, loop tiles each iteration."""
+
+    def draw(self, ctx) -> None:
+        ctx.img.load(synthetic_picture(ctx.dim, ctx.rng))
+
+    def do_tile(self, ctx, tile: Tile) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            self.end_of_iteration(ctx)
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.run_on_master(lambda: self.end_of_iteration(ctx))
+        return 0
+
+    def end_of_iteration(self, ctx) -> None:
+        """Hook between iterations (buffer swap for out-of-place kernels)."""
+
+
+@register_kernel
+class NoneKernel(_PictureKernel):
+    """Kernel ``none``: tiles cost (almost) nothing — overhead probe."""
+
+    name = "none"
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        return 1.0  # one unit per tile: all that remains is runtime overhead
+
+
+@register_kernel
+class InvertKernel(_PictureKernel):
+    """Kernel ``invert``: flip every RGB bit, keep alpha."""
+
+    name = "invert"
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        x, y, w, h = tile.as_rect()
+        view = ctx.img.cur_view(y, x, h, w)
+        view[:] = view ^ np.uint32(0xFFFFFF00)
+        return tile.area * PIXEL_WORK
+
+
+@register_kernel
+class TransposeKernel(_PictureKernel):
+    """Kernel ``transpose``: mirror the image across its main diagonal.
+
+    Tile (r, c) writes block (c, r) of the next image — the classic
+    blocked transpose whose strided reads make the cache-model extension
+    (bench EXT1) interesting.
+    """
+
+    name = "transpose"
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        x, y, w, h = tile.as_rect()
+        block = ctx.img.cur_view(y, x, h, w)
+        ctx.img.next_view(x, y, w, h)[:] = block.T
+        return tile.area * PIXEL_WORK
+
+    def end_of_iteration(self, ctx) -> None:
+        ctx.swap_images()
+
+
+@register_kernel
+class PixelizeKernel(_PictureKernel):
+    """Kernel ``pixelize``: replace each tile by its average color."""
+
+    name = "pixelize"
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        x, y, w, h = tile.as_rect()
+        view = ctx.img.cur_view(y, x, h, w)
+        mean = (
+            (np.uint32((view >> 24 & 0xFF).mean()) << 24)
+            | (np.uint32((view >> 16 & 0xFF).mean()) << 16)
+            | (np.uint32((view >> 8 & 0xFF).mean()) << 8)
+            | np.uint32((view & 0xFF).mean())
+        )
+        view[:] = mean
+        return tile.area * PIXEL_WORK

@@ -1,0 +1,66 @@
+"""The spin kernel: a rotating color wheel.
+
+One of EASYPAP's classic first-session kernels: every pixel's color is
+a pure function of its polar angle plus a per-iteration phase, so the
+animation spins.  Costs are perfectly uniform — the control experiment
+against mandel's imbalance (a static schedule is optimal here, which
+students discover by comparing the two kernels' monitoring windows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+
+__all__ = ["SpinKernel"]
+
+PIXEL_WORK = 6.0  # a few transcendental ops per pixel, uniform
+
+ROTATION_PER_ITERATION = np.pi / 24.0
+
+
+def _colorize(angle: np.ndarray) -> np.ndarray:
+    """Map angles (radians) to a packed RGBA color wheel."""
+    t = np.mod(angle, 2.0 * np.pi) / (2.0 * np.pi)
+    r = (255.0 * np.abs(np.sin(np.pi * (t + 0.00)))).astype(np.uint32)
+    g = (255.0 * np.abs(np.sin(np.pi * (t + 1.0 / 3.0)))).astype(np.uint32)
+    b = (255.0 * np.abs(np.sin(np.pi * (t + 2.0 / 3.0)))).astype(np.uint32)
+    return (r << 24) | (g << 16) | (b << 8) | np.uint32(0xFF)
+
+
+@register_kernel
+class SpinKernel(Kernel):
+    """Kernel ``spin`` with variants seq / omp_tiled."""
+
+    name = "spin"
+
+    def init(self, ctx) -> None:
+        ctx.data["phase"] = 0.0
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        x, y, w, h = tile.as_rect()
+        c = (ctx.dim - 1) / 2.0
+        yy = y + np.arange(h)[:, np.newaxis] - c
+        xx = x + np.arange(w)[np.newaxis, :] - c
+        angle = np.arctan2(yy, xx) + ctx.data["phase"]
+        ctx.img.cur_view(y, x, h, w)[:] = _colorize(angle)
+        return tile.area * PIXEL_WORK
+
+    def _rotate(self, ctx) -> None:
+        ctx.data["phase"] += ROTATION_PER_ITERATION
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            self._rotate(ctx)
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.run_on_master(lambda: self._rotate(ctx))
+        return 0

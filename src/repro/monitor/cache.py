@@ -1,0 +1,145 @@
+"""Per-task cache counters: the PAPI extension (paper §V future work).
+
+The paper plans to "integrate per-task cache usage information using
+the PAPI library" into EASYVIEW.  Real hardware counters being
+unavailable here, a per-CPU LRU cache model replays the memory accesses
+of each task (in timeline order, on the CPU that executed it) and
+attaches hit/miss counters to every trace event — enough to explore,
+e.g., how the blocked transpose's miss rate responds to tile size
+(bench EXT1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.trace.events import Trace, TraceEvent
+
+__all__ = ["CacheSpec", "LruCache", "CacheCounters", "simulate_trace_cache",
+           "stencil_access_pattern", "transpose_access_pattern"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """A private per-CPU cache: capacity and line size in bytes."""
+
+    size_bytes: int = 32 * 1024  # L1-ish
+    line_bytes: int = 64
+
+    @property
+    def num_lines(self) -> int:
+        return max(self.size_bytes // self.line_bytes, 1)
+
+
+class LruCache:
+    """Fully associative LRU cache of line addresses."""
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = addr // self.spec.line_bytes
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self._lines[line] = None
+        if len(self._lines) > self.spec.num_lines:
+            self._lines.popitem(last=False)
+        self.misses += 1
+        return False
+
+    def access_range(self, base: int, nbytes: int) -> tuple[int, int]:
+        """Touch ``nbytes`` consecutive bytes; returns (hits, misses)."""
+        lb = self.spec.line_bytes
+        first = base // lb
+        last = (base + max(nbytes, 1) - 1) // lb
+        h = m = 0
+        for line in range(first, last + 1):
+            if self.access(line * lb):
+                h += 1
+            else:
+                m += 1
+        return h, m
+
+    def reset(self) -> None:
+        self._lines.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss counts attached to one task."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+#: an access pattern maps one event to (base_address, nbytes) ranges
+AccessPattern = Callable[[TraceEvent, int], Iterable[tuple[int, int]]]
+
+_PIXEL = 4  # bytes per uint32 pixel
+_NEXT_BUFFER = 1 << 28  # address offset separating cur/next buffers
+
+
+def stencil_access_pattern(e: TraceEvent, dim: int) -> Iterator[tuple[int, int]]:
+    """Blur-like tile: read rows y-1..y+h of cur (with halo), write rows
+    of next."""
+    y0 = max(e.y - 1, 0)
+    y1 = min(e.y + e.h + 1, dim)
+    x0 = max(e.x - 1, 0)
+    w = min(e.x + e.w + 1, dim) - x0
+    for row in range(y0, y1):
+        yield ((row * dim + x0) * _PIXEL, w * _PIXEL)
+    for row in range(e.y, min(e.y + e.h, dim)):
+        yield (_NEXT_BUFFER + (row * dim + e.x) * _PIXEL, e.w * _PIXEL)
+
+
+def transpose_access_pattern(e: TraceEvent, dim: int) -> Iterator[tuple[int, int]]:
+    """Blocked transpose: contiguous reads of the tile, strided writes of
+    the transposed block (one range per destination row)."""
+    for row in range(e.y, min(e.y + e.h, dim)):
+        yield ((row * dim + e.x) * _PIXEL, e.w * _PIXEL)
+    for row in range(e.x, min(e.x + e.w, dim)):
+        yield (_NEXT_BUFFER + (row * dim + e.y) * _PIXEL, e.h * _PIXEL)
+
+
+def simulate_trace_cache(
+    trace: Trace,
+    dim: int,
+    pattern: AccessPattern,
+    spec: CacheSpec | None = None,
+) -> list[tuple[TraceEvent, CacheCounters]]:
+    """Replay every tile event through its CPU's private cache, in start
+    order, returning per-event counters (also summed into each event's
+    ``extra['cache']`` for EASYVIEW display)."""
+    spec = spec or CacheSpec()
+    caches = [LruCache(spec) for _ in range(trace.ncpus)]
+    out: list[tuple[TraceEvent, CacheCounters]] = []
+    for e in sorted(trace.events, key=lambda e: (e.start, e.cpu)):
+        if not e.has_tile or not (0 <= e.cpu < trace.ncpus):
+            continue
+        c = CacheCounters()
+        cache = caches[e.cpu]
+        for base, nbytes in pattern(e, dim):
+            h, m = cache.access_range(base, nbytes)
+            c.hits += h
+            c.misses += m
+        e.extra["cache"] = {"hits": c.hits, "misses": c.misses}
+        out.append((e, c))
+    return out

@@ -1,0 +1,22 @@
+"""Message-passing substrate: communicators, decomposition, launcher."""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Comm, MpiWorld, Request, run_world
+from repro.mpi.decomposition import band_of, bands, block_of, grid_shape
+from repro.mpi.launcher import mpi_run, parse_mpirun_args
+from repro.mpi.proc import MpiProcessContext
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "MpiWorld",
+    "Request",
+    "run_world",
+    "band_of",
+    "bands",
+    "block_of",
+    "grid_shape",
+    "mpi_run",
+    "parse_mpirun_args",
+    "MpiProcessContext",
+]

@@ -1,0 +1,347 @@
+"""In-process message-passing substrate (the MPI stand-in).
+
+Each rank runs in its own Python thread; messages are pickled (so ranks
+never share mutable state, exactly like real MPI address spaces) and
+delivered through per-rank mailboxes with MPI-style (source, tag)
+matching.  The API mirrors mpi4py's lowercase object interface:
+``send/recv/sendrecv/bcast/scatter/gather/allgather/reduce/allreduce/
+barrier``.
+
+Collectives are built over point-to-point with an internal tag space
+(high bit set + a per-communicator collective sequence number), so they
+never collide with user tags and stay correct even when ranks interleave
+collectives with pt2pt traffic.
+
+Per-rank traffic statistics (message and byte counts) are kept so
+kernels' communication volume can be analyzed — our substitute for
+watching real interconnect behaviour.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import MpiError
+
+__all__ = ["MpiWorld", "Comm", "Request", "ANY_SOURCE", "ANY_TAG", "run_world"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_COLL_BIT = 1 << 30  # internal tags: _COLL_BIT | (seq << 4) | coll_id
+_RECV_TIMEOUT = 60.0  # seconds; a blocked recv this long is a deadlock
+
+
+@dataclass
+class CommStats:
+    """Per-rank traffic counters (pt2pt and collective internals alike)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    collectives: int = 0
+
+
+class _Mailbox:
+    """Pending messages of one rank, with (source, tag) matching."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: list[tuple[int, int, bytes]] = []
+
+    def put(self, source: int, tag: int, payload: bytes) -> None:
+        with self._lock:
+            self._pending.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> int | None:
+        for i, (s, t, _) in enumerate(self._pending):
+            if (source == ANY_SOURCE or s == source) and (
+                tag == ANY_TAG or t == tag
+            ):
+                return i
+        return None
+
+    def get(self, source: int, tag: int, timeout: float) -> tuple[int, int, bytes]:
+        with self._lock:
+            while True:
+                i = self._match(source, tag)
+                if i is not None:
+                    return self._pending.pop(i)
+                if not self._cond.wait(timeout=timeout):
+                    raise MpiError(
+                        f"recv(source={source}, tag={tag}) timed out after "
+                        f"{timeout}s — deadlock?"
+                    )
+
+    def try_get(self, source: int, tag: int) -> tuple[int, int, bytes] | None:
+        """Non-blocking probe+pop (backs Request.test)."""
+        with self._lock:
+            i = self._match(source, tag)
+            return self._pending.pop(i) if i is not None else None
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py-style lowercase API).
+
+    ``isend`` requests are complete immediately (sends are buffered);
+    ``irecv`` requests complete when a matching message is consumed via
+    :meth:`test` or :meth:`wait`.
+    """
+
+    def __init__(self, comm: "Comm | None" = None, source: int = ANY_SOURCE,
+                 tag: int = ANY_TAG, payload: Any = None, done: bool = False):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._payload = payload
+        self._done = done
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, payload_or_None)."""
+        if self._done:
+            return True, self._payload
+        got = self._comm.world.mailboxes[self._comm.rank].try_get(
+            self._source, self._tag
+        )
+        if got is None:
+            return False, None
+        self._comm.world.stats[self._comm.rank].messages_received += 1
+        self._payload = pickle.loads(got[2])
+        self._done = True
+        return True, self._payload
+
+    def wait(self) -> Any:
+        """Block until completion; returns the received object (or the
+        sent one, for isend requests)."""
+        if self._done:
+            return self._payload
+        _, _, payload = self._comm.world.mailboxes[self._comm.rank].get(
+            self._source, self._tag, self._comm.world.recv_timeout
+        )
+        self._comm.world.stats[self._comm.rank].messages_received += 1
+        self._payload = pickle.loads(payload)
+        self._done = True
+        return self._payload
+
+
+class MpiWorld:
+    """A set of ranks with their mailboxes."""
+
+    def __init__(self, size: int, recv_timeout: float = _RECV_TIMEOUT):
+        if size < 1:
+            raise MpiError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.recv_timeout = recv_timeout
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.stats = [CommStats() for _ in range(size)]
+
+    def comm(self, rank: int) -> "Comm":
+        if not (0 <= rank < self.size):
+            raise MpiError(f"rank {rank} out of world of size {self.size}")
+        return Comm(self, rank)
+
+
+class Comm:
+    """One rank's view of the world (mpi4py-style lowercase interface)."""
+
+    def __init__(self, world: MpiWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._coll_seq = 0
+
+    # -- point-to-point ------------------------------------------------------
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not (0 <= peer < self.size):
+            raise MpiError(f"{what} rank {peer} out of world of size {self.size}")
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send (never blocks): the message is pickled and
+        enqueued at the destination."""
+        self._check_peer(dest, "destination")
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        st = self.world.stats[self.rank]
+        st.messages_sent += 1
+        st.bytes_sent += len(payload)
+        self.world.mailboxes[dest].put(self.rank, tag, payload)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive with (source, tag) matching."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        _, _, payload = self.world.mailboxes[self.rank].get(
+            source, tag, self.world.recv_timeout
+        )
+        self.world.stats[self.rank].messages_received += 1
+        return pickle.loads(payload)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (buffered: completes immediately)."""
+        self.send(obj, dest, tag)
+        return Request(done=True, payload=obj)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive: returns a :class:`Request` to test/wait."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        return Request(self, source, tag)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int | None = None,
+        sendtag: int = 0,
+        recvtag: int | None = None,
+    ) -> Any:
+        """Combined send+receive (deadlock-free: sends are buffered)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(dest if source is None else source,
+                         sendtag if recvtag is None else recvtag)
+
+    # -- collectives ----------------------------------------------------------
+    def _coll_tag(self, coll_id: int) -> int:
+        tag = _COLL_BIT | (self._coll_seq << 4) | coll_id
+        self._coll_seq += 1
+        self.world.stats[self.rank].collectives += 1
+        return tag
+
+    def barrier(self) -> None:
+        """All ranks synchronize (gather-to-0 then broadcast)."""
+        tag = self._coll_tag(0)
+        if self.rank == 0:
+            for src in range(1, self.size):
+                _, _, _ = self.world.mailboxes[0].get(src, tag, self.world.recv_timeout)
+            for dst in range(1, self.size):
+                self.world.mailboxes[dst].put(0, tag, b"")
+        else:
+            self.world.mailboxes[0].put(self.rank, tag, b"")
+            self.world.mailboxes[self.rank].get(0, tag, self.world.recv_timeout)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_peer(root, "root")
+        tag = self._coll_tag(1)
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+                    st = self.world.stats[self.rank]
+                    st.messages_sent += 1
+                    st.bytes_sent += len(payload)
+                    self.world.mailboxes[dst].put(root, tag, payload)
+            return obj
+        _, _, payload = self.world.mailboxes[self.rank].get(
+            root, tag, self.world.recv_timeout
+        )
+        self.world.stats[self.rank].messages_received += 1
+        return pickle.loads(payload)
+
+    def scatter(self, objs: list | None, root: int = 0) -> Any:
+        self._check_peer(root, "root")
+        tag = self._coll_tag(2)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise MpiError(
+                    f"scatter at root needs exactly {self.size} items, "
+                    f"got {None if objs is None else len(objs)}"
+                )
+            mine = objs[root]
+            for dst in range(self.size):
+                if dst != root:
+                    payload = pickle.dumps(objs[dst], protocol=pickle.HIGHEST_PROTOCOL)
+                    st = self.world.stats[self.rank]
+                    st.messages_sent += 1
+                    st.bytes_sent += len(payload)
+                    self.world.mailboxes[dst].put(root, tag, payload)
+            return mine
+        _, _, payload = self.world.mailboxes[self.rank].get(
+            root, tag, self.world.recv_timeout
+        )
+        self.world.stats[self.rank].messages_received += 1
+        return pickle.loads(payload)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        self._check_peer(root, "root")
+        tag = self._coll_tag(3)
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    _, _, payload = self.world.mailboxes[root].get(
+                        src, tag, self.world.recv_timeout
+                    )
+                    self.world.stats[self.rank].messages_received += 1
+                    out[src] = pickle.loads(payload)
+            return out
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        st = self.world.stats[self.rank]
+        st.messages_sent += 1
+        st.bytes_sent += len(payload)
+        self.world.mailboxes[root].put(self.rank, tag, payload)
+        return None
+
+    def allgather(self, obj: Any) -> list:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for v in gathered[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        acc = self.reduce(obj, op, root=0)
+        return self.bcast(acc, root=0)
+
+    @property
+    def stats(self) -> CommStats:
+        return self.world.stats[self.rank]
+
+
+def run_world(
+    size: int,
+    fn: Callable[[Comm, int], Any],
+    *,
+    recv_timeout: float = _RECV_TIMEOUT,
+) -> list[Any]:
+    """Run ``fn(comm, rank)`` on every rank of a fresh world; returns the
+    per-rank results in rank order.
+
+    Any rank raising makes :func:`run_world` raise :class:`MpiError`
+    carrying all per-rank failures (after every thread has stopped).
+    """
+    world = MpiWorld(size, recv_timeout=recv_timeout)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def target(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank), rank)
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            with lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=target, args=(r,), name=f"mpi-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        errors.sort()
+        details = "; ".join(f"rank {r}: {type(e).__name__}: {e}" for r, e in errors)
+        raise MpiError(f"{len(errors)} rank(s) failed: {details}") from errors[0][1]
+    return results

@@ -1,0 +1,53 @@
+"""Domain decomposition helpers for MPI kernels.
+
+EASYPAP's MPI assignments split the image into horizontal bands (one
+per rank, Fig. 13); 2D block decomposition is provided for more
+advanced layouts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MpiError
+
+__all__ = ["band_of", "bands", "block_of", "grid_shape"]
+
+
+def band_of(rank: int, size: int, dim: int) -> tuple[int, int]:
+    """Row band of ``rank``: returns ``(y0, height)``.
+
+    The first ``dim % size`` ranks get one extra row, so bands differ by
+    at most one row and cover the image exactly.
+    """
+    if size < 1 or not (0 <= rank < size):
+        raise MpiError(f"bad rank/size: {rank}/{size}")
+    if dim < size:
+        raise MpiError(f"cannot split {dim} rows over {size} ranks")
+    base, extra = divmod(dim, size)
+    y0 = rank * base + min(rank, extra)
+    h = base + (1 if rank < extra else 0)
+    return y0, h
+
+
+def bands(size: int, dim: int) -> list[tuple[int, int]]:
+    """All bands in rank order (they partition ``[0, dim)``)."""
+    return [band_of(r, size, dim) for r in range(size)]
+
+
+def grid_shape(size: int) -> tuple[int, int]:
+    """Most-square (rows, cols) process grid with ``rows * cols == size``."""
+    best = (size, 1)
+    r = 1
+    while r * r <= size:
+        if size % r == 0:
+            best = (size // r, r)
+        r += 1
+    return best
+
+
+def block_of(rank: int, size: int, dim: int) -> tuple[int, int, int, int]:
+    """2D block of ``rank``: returns ``(y0, x0, height, width)``."""
+    rows, cols = grid_shape(size)
+    pr, pc = divmod(rank, cols)
+    y0, h = band_of(pr, rows, dim)
+    x0, w = band_of(pc, cols, dim)
+    return y0, x0, h, w

@@ -1,0 +1,100 @@
+"""The ``mpirun`` launcher.
+
+EASYPAP integrates the mpirun process launcher (``--mpirun "-np 2"``)
+and, in debugging mode (``--debug M``), displays the monitoring windows
+of *every* process (Fig. 13).  Here each rank runs the kernel in its own
+thread over the in-process world; rank 0's result is returned, with all
+per-rank results (including each rank's monitor) attached.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.core.config import RunConfig
+from repro.core.context import ExecutionContext
+from repro.core.kernel import get_kernel
+from repro.errors import ConfigError
+from repro.mpi.comm import Comm, run_world
+from repro.mpi.proc import MpiProcessContext
+from repro.sched.costmodel import CostModel
+from repro.util.timing import Stopwatch
+
+__all__ = ["mpi_run", "parse_mpirun_args"]
+
+
+def parse_mpirun_args(spec: str) -> int:
+    """Extract the process count from an mpirun argument string.
+
+    >>> parse_mpirun_args("-np 2")
+    2
+    """
+    m = re.search(r"(?:^|\s)-(?:np|n)\s+(\d+)", spec.strip())
+    if not m:
+        raise ConfigError(f"cannot find -np in mpirun arguments {spec!r}")
+    np_ = int(m.group(1))
+    if np_ < 1:
+        raise ConfigError(f"-np must be >= 1, got {np_}")
+    return np_
+
+
+def mpi_run(
+    config: RunConfig,
+    *,
+    model: CostModel | None = None,
+    frame_hook: Callable | None = None,
+):
+    """Run ``config`` on ``config.mpi_np`` ranks; returns rank 0's
+    :class:`~repro.core.engine.RunResult` with ``rank_results`` filled.
+
+    Monitoring policy mirrors EASYPAP: with ``--monitoring`` alone only
+    the master rank records; with ``--debug M`` every rank does.
+    """
+    from repro.core.engine import RunResult  # local import: avoids a cycle
+
+    if config.mpi_np < 1:
+        raise ConfigError("mpi_run requires mpi_np >= 1")
+    debug_all = "M" in (config.debug or "")
+
+    def rank_main(comm: Comm, rank: int) -> RunResult:
+        rank_cfg = config.with_(
+            mpi_np=0,  # the per-rank engine must not re-enter the launcher
+            monitoring=config.monitoring and (debug_all or rank == 0),
+            trace=config.trace and (debug_all or rank == 0),
+            trace_label=f"{config.trace_label}.{rank}",
+        )
+        kernel = get_kernel(config.kernel)
+        compute = kernel.compute_fn(config.variant)
+        ctx = ExecutionContext(rank_cfg, model=model)
+        ctx.mpi = MpiProcessContext(rank=rank, size=config.mpi_np, comm=comm)
+        if rank == 0:
+            ctx.frame_hook = frame_hook
+        kernel.init(ctx)
+        kernel.draw(ctx)
+        sw = Stopwatch().start()
+        early = int(compute(ctx, config.iterations) or 0)
+        wall = sw.stop()
+        kernel.refresh_img(ctx)
+        kernel.finalize(ctx)
+        comm.barrier()
+        return RunResult(
+            config=rank_cfg,
+            completed_iterations=ctx.completed_iterations,
+            virtual_time=ctx.vclock,
+            wall_time=wall,
+            image=ctx.img.copy_cur(),
+            monitor=ctx.monitor,
+            trace=ctx.tracer.to_trace() if ctx.tracer else None,
+            early_stop=early,
+            context=ctx,
+        )
+
+    results = run_world(config.mpi_np, rank_main)
+    master = results[0]
+    master.rank_results = results
+    # report the slowest rank's virtual time: ranks run synchronized by
+    # ghost exchanges, so the laggard defines the wall clock
+    master.virtual_time = max(r.virtual_time for r in results)
+    master.config = config
+    return master

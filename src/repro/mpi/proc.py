@@ -1,0 +1,23 @@
+"""Per-rank MPI context attached to the execution context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.comm import Comm
+
+__all__ = ["MpiProcessContext"]
+
+
+@dataclass
+class MpiProcessContext:
+    """What a kernel sees through ``ctx.mpi`` when launched under
+    ``--mpirun``: its rank, the world size and the communicator."""
+
+    rank: int
+    size: int
+    comm: Comm
+
+    @property
+    def is_master(self) -> bool:
+        return self.rank == 0

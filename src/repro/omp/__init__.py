@@ -1,0 +1,14 @@
+"""OpenMP-like runtime: worksharing loops, tasks, ICVs."""
+
+from repro.omp.icv import DEFAULT_NUM_THREADS, Icvs, resolve_icvs
+from repro.omp.parallel import parallel_for, parallel_reduce
+from repro.omp.tasks import TaskRegion
+
+__all__ = [
+    "DEFAULT_NUM_THREADS",
+    "Icvs",
+    "resolve_icvs",
+    "parallel_for",
+    "parallel_reduce",
+    "TaskRegion",
+]

@@ -1,0 +1,68 @@
+"""OpenMP Internal Control Variables (ICVs).
+
+EASYPAP experiments are driven through the standard environment
+variables (``OMP_NUM_THREADS``, ``OMP_SCHEDULE``, see the expTools
+script in paper Fig. 5).  This module resolves them — from an explicit
+mapping or the process environment — into the runtime's configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigError
+from repro.sched.policies import SchedulePolicy, parse_schedule
+
+__all__ = ["Icvs", "resolve_icvs", "DEFAULT_NUM_THREADS"]
+
+#: default virtual team size — matches the paper's 6-core/12-thread machine
+DEFAULT_NUM_THREADS = 4
+
+
+@dataclass(frozen=True)
+class Icvs:
+    """Resolved control variables for one run."""
+
+    num_threads: int
+    schedule: SchedulePolicy
+
+    def spec(self) -> dict[str, str]:
+        """Environment-variable form (round-trips through expTools CSVs)."""
+        return {
+            "OMP_NUM_THREADS": str(self.num_threads),
+            "OMP_SCHEDULE": self.schedule.spec(),
+        }
+
+
+def resolve_icvs(
+    env: Mapping[str, str] | None = None,
+    *,
+    num_threads: int | None = None,
+    schedule: str | SchedulePolicy | None = None,
+    default_schedule: str = "dynamic",
+) -> Icvs:
+    """Resolve ICVs with precedence: explicit args > ``env`` > os.environ > defaults.
+
+    ``env=None`` reads the process environment; pass ``env={}`` for a
+    hermetic resolution (what the test-suite does).
+    """
+    source: Mapping[str, str] = os.environ if env is None else env
+
+    if num_threads is None:
+        raw = source.get("OMP_NUM_THREADS")
+        if raw is not None:
+            try:
+                num_threads = int(raw)
+            except ValueError:
+                raise ConfigError(f"bad OMP_NUM_THREADS: {raw!r}") from None
+        else:
+            num_threads = DEFAULT_NUM_THREADS
+    if num_threads < 1:
+        raise ConfigError(f"OMP_NUM_THREADS must be >= 1, got {num_threads}")
+
+    if schedule is None:
+        schedule = source.get("OMP_SCHEDULE", default_schedule)
+    policy = schedule if isinstance(schedule, SchedulePolicy) else parse_schedule(schedule)
+    return Icvs(num_threads=num_threads, schedule=policy)

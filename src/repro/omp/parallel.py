@@ -1,0 +1,231 @@
+"""``parallel_for``: the OpenMP worksharing loop.
+
+The default (``sim``) backend executes bodies sequentially — measuring
+deterministic *work units* — then replays the loop through the
+event-driven scheduler to obtain the timeline a real thread team would
+produce under the requested ``schedule(...)`` clause.  The ``threads``
+backend runs a real ``ThreadPoolExecutor`` team and records wall-clock
+times (useful to sanity-check shapes against genuine parallelism; NumPy
+tile bodies release the GIL in their inner loops).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import ScheduleError
+from repro.sched.policies import (
+    DynamicSchedule,
+    GuidedSchedule,
+    NonMonotonicDynamic,
+    SchedulePolicy,
+    StaticSchedule,
+    parse_schedule,
+)
+from repro.sched.simulator import SimResult, simulate
+from repro.sched.timeline import TaskExec, Timeline
+
+__all__ = ["parallel_for", "parallel_reduce"]
+
+
+def _resolve_policy(ctx, schedule: SchedulePolicy | str | None) -> SchedulePolicy:
+    if schedule is None:
+        return ctx.policy
+    if isinstance(schedule, SchedulePolicy):
+        return schedule
+    return parse_schedule(schedule)
+
+
+def parallel_for(
+    ctx,
+    body: Callable[[Any], float],
+    items: Sequence[Any] | None = None,
+    *,
+    schedule: SchedulePolicy | str | None = None,
+    kind: str = "tile",
+) -> SimResult:
+    """Distribute ``items`` over the virtual team.
+
+    ``body(item)`` performs the computation and returns its cost in
+    *work units* (deterministic, e.g. loop iterations executed); items
+    default to the tile grid in collapse(2) order.
+
+    Returns the :class:`SimResult` for the region; the context's clock
+    advances past the simulated makespan + fork/join overhead.
+    """
+    items = list(ctx.grid) if items is None else list(items)
+    policy = _resolve_policy(ctx, schedule)
+    meta = {"iteration": ctx.iteration, "kind": kind}
+    if ctx.backend == "threads":
+        return _threads_parallel_for(ctx, body, items, policy, meta)
+
+    works = [float(body(item) or 0.0) for item in items]
+    if ctx.region_log is not None:
+        ctx.region_log.append(("par", works))
+    costs = ctx.perturb_costs(ctx.model.times_of(works))
+    result = simulate(
+        costs,
+        policy,
+        ctx.nthreads,
+        items=items,
+        model=ctx.model,
+        start_time=ctx.vclock,
+        meta=meta,
+    )
+    end = max(result.timeline.makespan, ctx.vclock)
+    ctx.vclock = end + ctx.model.fork_join_overhead
+    ctx.record_timeline(result.timeline)
+    return result
+
+
+def parallel_reduce(
+    ctx,
+    body: Callable[[Any], tuple[float, Any]],
+    items: Sequence[Any] | None = None,
+    *,
+    combine: Callable[[Any, Any], Any],
+    init: Any,
+    schedule: SchedulePolicy | str | None = None,
+    kind: str = "tile",
+):
+    """``parallel for reduction(op: acc)``: the race-free way to fold a
+    value across a worksharing loop.
+
+    ``body(item)`` returns ``(work_units, value)``; values are combined
+    with ``combine`` in deterministic item order (real OpenMP reductions
+    are unordered — our determinism is strictly stronger, which tests
+    rely on).  Returns ``(sim_result, accumulated)``.
+
+    This is the construct kernels should use instead of mutating shared
+    state from tile bodies (the "changed" flags of Life/heat) — in real
+    OpenMP that mutation needs ``atomic``/``critical``; here the
+    reduction expresses the intent.
+    """
+    items = list(ctx.grid) if items is None else list(items)
+    acc = init
+    works: list[float] = []
+
+    def wrapped_values():
+        nonlocal acc
+        for item in items:
+            work, value = body(item)
+            works.append(float(work or 0.0))
+            acc = combine(acc, value)
+
+    if ctx.backend == "threads":
+        import threading
+
+        lock = threading.Lock()
+
+        def body_threads(item):
+            nonlocal acc
+            work, value = body(item)
+            with lock:
+                acc = combine(acc, value)
+            return work
+
+        res = _threads_parallel_for(
+            ctx, body_threads, items, _resolve_policy(ctx, schedule),
+            {"iteration": ctx.iteration, "kind": kind},
+        )
+        return res, acc
+
+    wrapped_values()
+    if ctx.region_log is not None:
+        ctx.region_log.append(("par", works))
+    costs = ctx.perturb_costs(ctx.model.times_of(works))
+    res = simulate(
+        costs,
+        _resolve_policy(ctx, schedule),
+        ctx.nthreads,
+        items=items,
+        model=ctx.model,
+        start_time=ctx.vclock,
+        meta={"iteration": ctx.iteration, "kind": kind},
+    )
+    ctx.vclock = max(res.timeline.makespan, ctx.vclock) + ctx.model.fork_join_overhead
+    ctx.record_timeline(res.timeline)
+    return res, acc
+
+
+# --------------------------------------------------------------------------
+# Real-thread backend
+# --------------------------------------------------------------------------
+
+
+def _threads_parallel_for(ctx, body, items, policy, meta) -> SimResult:
+    """Run a real thread team; record wall-clock start/end per item.
+
+    Scheduling semantics: ``static`` uses the precomputed assignment;
+    every dynamic family policy (dynamic, guided, nonmonotonic) shares a
+    central chunk queue — real stealing cannot be faithfully observed
+    under the GIL (see DESIGN.md), so the dynamic behaviour is the
+    honest common denominator.
+    """
+    n = len(items)
+    nthreads = ctx.nthreads
+    records: list[list[tuple[int, float, float]]] = [[] for _ in range(nthreads)]
+    t0 = time.perf_counter()
+
+    if isinstance(policy, StaticSchedule):
+        assignments = policy.assignment(n, nthreads)
+
+        def worker_static(rank: int) -> None:
+            recs = records[rank]
+            for chunk in assignments[rank]:
+                for idx in chunk.indices():
+                    s = time.perf_counter() - t0
+                    body(items[idx])
+                    e = time.perf_counter() - t0
+                    recs.append((idx, s, e))
+
+        target, args_of = worker_static, lambda r: (r,)
+    else:
+        if isinstance(policy, GuidedSchedule):
+            queue = policy.chunk_queue(n, nthreads)
+        elif isinstance(policy, DynamicSchedule):
+            queue = policy.chunk_queue(n)
+        elif isinstance(policy, NonMonotonicDynamic):
+            queue = DynamicSchedule(policy.chunk).chunk_queue(n)
+        else:  # pragma: no cover - parse_schedule covers all kinds
+            raise ScheduleError(f"unsupported policy {policy!r}")
+        lock = threading.Lock()
+        state = {"next": 0}
+
+        def worker_dynamic(rank: int) -> None:
+            recs = records[rank]
+            while True:
+                with lock:
+                    qi = state["next"]
+                    if qi >= len(queue):
+                        return
+                    state["next"] = qi + 1
+                for idx in queue[qi].indices():
+                    s = time.perf_counter() - t0
+                    body(items[idx])
+                    e = time.perf_counter() - t0
+                    recs.append((idx, s, e))
+
+        target, args_of = worker_dynamic, lambda r: (r,)
+
+    threads = [
+        threading.Thread(target=target, args=args_of(r), name=f"easypap-{r}")
+        for r in range(nthreads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    timeline = Timeline(ncpus=nthreads)
+    for rank, recs in enumerate(records):
+        for idx, s, e in recs:
+            m = dict(meta)
+            m["index"] = idx
+            timeline.append(TaskExec(items[idx], rank, ctx.vclock + s, ctx.vclock + e, m))
+    ctx.vclock += elapsed
+    ctx.record_timeline(timeline)
+    return SimResult(timeline, grabs=[], steals=0)

@@ -1,0 +1,241 @@
+"""OpenMP loop-scheduling policies.
+
+These model the ``schedule(...)`` clauses students experiment with in
+EASYPAP (paper Fig. 4): ``static``, ``static,k``, ``dynamic,k``,
+``guided[,k]`` and OpenMP 5's ``nonmonotonic:dynamic`` (implemented, as
+in LLVM's runtime, as a static initial distribution corrected by work
+stealing).
+
+A policy only decides *which indices go together and to whom*; the
+event-driven part lives in :mod:`repro.sched.simulator`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "SchedulePolicy",
+    "StaticSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    "NonMonotonicDynamic",
+    "parse_schedule",
+    "SCHEDULE_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous range [lo, hi) of the collapsed iteration space."""
+
+    lo: int
+    hi: int
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def indices(self) -> range:
+        return range(self.lo, self.hi)
+
+
+class SchedulePolicy(ABC):
+    """Base class: a named chunking/assignment strategy."""
+
+    #: canonical OMP_SCHEDULE spelling, e.g. ``"dynamic,2"``
+    name: str = "?"
+
+    #: True when the assignment is fixed before execution (static family)
+    is_static: bool = False
+
+    #: True when idle threads steal from busy ones (nonmonotonic family)
+    uses_stealing: bool = False
+
+    @abstractmethod
+    def spec(self) -> str:
+        """The OMP_SCHEDULE string for this policy instance."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.spec()!r})"
+
+
+def _check_chunk(chunk: int | None) -> None:
+    if chunk is not None and chunk < 1:
+        raise ScheduleError(f"chunk size must be >= 1, got {chunk}")
+
+
+class StaticSchedule(SchedulePolicy):
+    """``schedule(static[,k])``.
+
+    Without a chunk size, the iteration space is split into ``ncpus``
+    nearly-equal contiguous blocks (one per thread).  With chunk ``k``,
+    blocks of ``k`` iterations are dealt round-robin.
+    """
+
+    name = "static"
+    is_static = True
+
+    def __init__(self, chunk: int | None = None):
+        _check_chunk(chunk)
+        self.chunk = chunk
+
+    def spec(self) -> str:
+        return "static" if self.chunk is None else f"static,{self.chunk}"
+
+    def assignment(self, n: int, ncpus: int) -> list[list[Chunk]]:
+        """Per-CPU ordered chunk lists for ``n`` iterations."""
+        if ncpus < 1:
+            raise ScheduleError(f"need at least one cpu, got {ncpus}")
+        per_cpu: list[list[Chunk]] = [[] for _ in range(ncpus)]
+        if n == 0:
+            return per_cpu
+        if self.chunk is None:
+            # LLVM/GCC static: first (n % p) threads get ceil(n/p), rest floor.
+            base, extra = divmod(n, ncpus)
+            lo = 0
+            for cpu in range(ncpus):
+                size = base + (1 if cpu < extra else 0)
+                if size:
+                    per_cpu[cpu].append(Chunk(lo, lo + size))
+                lo += size
+        else:
+            k = self.chunk
+            for i, lo in enumerate(range(0, n, k)):
+                per_cpu[i % ncpus].append(Chunk(lo, min(lo + k, n)))
+        return per_cpu
+
+
+class DynamicSchedule(SchedulePolicy):
+    """``schedule(dynamic[,k])`` — a central FIFO of fixed-size chunks."""
+
+    name = "dynamic"
+
+    def __init__(self, chunk: int = 1):
+        _check_chunk(chunk)
+        self.chunk = chunk
+
+    def spec(self) -> str:
+        return f"dynamic,{self.chunk}" if self.chunk != 1 else "dynamic"
+
+    def chunk_queue(self, n: int) -> list[Chunk]:
+        k = self.chunk
+        return [Chunk(lo, min(lo + k, n)) for lo in range(0, n, k)]
+
+
+class GuidedSchedule(SchedulePolicy):
+    """``schedule(guided[,k])`` — decreasing chunk sizes, never below ``k``
+    (except the final chunk).
+
+    Chunk size follows LLVM's guided implementation,
+    ``ceil(remaining / (2 * ncpus))`` — the factor 2 keeps initial chunks
+    moderate, which is what makes guided competitive on irregular loops
+    like mandel (paper Fig. 6)."""
+
+    name = "guided"
+
+    def __init__(self, chunk: int = 1):
+        _check_chunk(chunk)
+        self.chunk = chunk
+
+    def spec(self) -> str:
+        return f"guided,{self.chunk}" if self.chunk != 1 else "guided"
+
+    def chunk_queue(self, n: int, ncpus: int) -> list[Chunk]:
+        """The (deterministic) sequence of chunks handed out in grab order."""
+        if ncpus < 1:
+            raise ScheduleError(f"need at least one cpu, got {ncpus}")
+        out: list[Chunk] = []
+        lo = 0
+        while lo < n:
+            remaining = n - lo
+            size = max(-(-remaining // (2 * ncpus)), self.chunk)
+            size = min(size, remaining)
+            out.append(Chunk(lo, lo + size))
+            lo += size
+        return out
+
+
+class NonMonotonicDynamic(SchedulePolicy):
+    """``schedule(nonmonotonic:dynamic[,k])``.
+
+    Modeled after LLVM's implementation, as described in the paper
+    (Fig. 4c): iterations are first distributed *statically* in
+    contiguous per-thread blocks; a thread that exhausts its block
+    steals chunks of ``k`` iterations from the victim with the most
+    remaining work.
+    """
+
+    name = "nonmonotonic:dynamic"
+    uses_stealing = True
+
+    def __init__(self, chunk: int = 1, steal_half: bool = False):
+        _check_chunk(chunk)
+        self.chunk = chunk
+        #: when True, a thief takes half of the victim's remaining block
+        #: instead of one chunk (ablation knob, bench ABL2).
+        self.steal_half = steal_half
+
+    def spec(self) -> str:
+        base = "nonmonotonic:dynamic"
+        return f"{base},{self.chunk}" if self.chunk != 1 else base
+
+    def initial_blocks(self, n: int, ncpus: int) -> list[Chunk]:
+        """Per-CPU contiguous initial blocks (may be empty)."""
+        if ncpus < 1:
+            raise ScheduleError(f"need at least one cpu, got {ncpus}")
+        base, extra = divmod(n, ncpus)
+        blocks = []
+        lo = 0
+        for cpu in range(ncpus):
+            size = base + (1 if cpu < extra else 0)
+            blocks.append(Chunk(lo, lo + size))
+            lo += size
+        return blocks
+
+
+SCHEDULE_NAMES = ("static", "dynamic", "guided", "nonmonotonic:dynamic")
+
+
+def parse_schedule(spec: str) -> SchedulePolicy:
+    """Parse an ``OMP_SCHEDULE``-style string into a policy object.
+
+    >>> parse_schedule("dynamic,2").chunk
+    2
+    >>> parse_schedule("static").chunk is None
+    True
+    """
+    if not spec or not isinstance(spec, str):
+        raise ScheduleError(f"empty schedule spec: {spec!r}")
+    text = spec.strip().lower()
+    # strip the (ignored) monotonic modifier, keep nonmonotonic meaningful
+    nonmonotonic = False
+    if ":" in text:
+        modifier, _, rest = text.partition(":")
+        modifier = modifier.strip()
+        if modifier == "nonmonotonic":
+            nonmonotonic = True
+        elif modifier != "monotonic":
+            raise ScheduleError(f"unknown schedule modifier {modifier!r} in {spec!r}")
+        text = rest.strip()
+    kind, _, chunk_s = text.partition(",")
+    kind = kind.strip()
+    chunk: int | None = None
+    if chunk_s:
+        try:
+            chunk = int(chunk_s)
+        except ValueError:
+            raise ScheduleError(f"bad chunk size {chunk_s!r} in {spec!r}") from None
+    if kind == "static":
+        if nonmonotonic:
+            raise ScheduleError("nonmonotonic applies to dynamic/guided only")
+        return StaticSchedule(chunk)
+    if kind == "dynamic":
+        if nonmonotonic:
+            return NonMonotonicDynamic(chunk if chunk is not None else 1)
+        return DynamicSchedule(chunk if chunk is not None else 1)
+    if kind == "guided":
+        return GuidedSchedule(chunk if chunk is not None else 1)
+    raise ScheduleError(f"unknown schedule kind {kind!r} in {spec!r}")

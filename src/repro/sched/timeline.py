@@ -1,0 +1,172 @@
+"""Timelines: the output of the scheduling simulator.
+
+A :class:`Timeline` is an ordered record of task executions — which item
+ran on which (virtual) CPU, from when to when — the exact information
+EASYPAP's monitoring windows and EASYVIEW traces are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["TaskExec", "Timeline"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TaskExec:
+    """One task execution on a virtual CPU.
+
+    ``item`` is whatever was scheduled (typically a :class:`~repro.core.tiling.Tile`);
+    ``meta`` carries free-form annotations (iteration number, chunk id,
+    whether the task was stolen, ...).
+    """
+
+    item: Any
+    cpu: int
+    start: float
+    end: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """A collection of :class:`TaskExec` with analysis helpers."""
+
+    def __init__(self, execs: Iterable[TaskExec] = (), ncpus: int | None = None):
+        self.execs: list[TaskExec] = list(execs)
+        if ncpus is None:
+            ncpus = 1 + max((e.cpu for e in self.execs), default=-1)
+        self.ncpus = max(ncpus, 0)
+
+    # -- container protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.execs)
+
+    def __iter__(self) -> Iterator[TaskExec]:
+        return iter(self.execs)
+
+    def append(self, e: TaskExec) -> None:
+        self.execs.append(e)
+        if e.cpu >= self.ncpus:
+            self.ncpus = e.cpu + 1
+
+    def extend(self, es: Iterable[TaskExec]) -> None:
+        for e in es:
+            self.append(e)
+
+    # -- aggregate metrics -------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time (max end over all executions)."""
+        return max((e.end for e in self.execs), default=0.0)
+
+    def busy_time(self, cpu: int) -> float:
+        return sum(e.duration for e in self.execs if e.cpu == cpu)
+
+    def busy_per_cpu(self) -> list[float]:
+        busy = [0.0] * self.ncpus
+        for e in self.execs:
+            busy[e.cpu] += e.duration
+        return busy
+
+    def total_work(self) -> float:
+        return sum(e.duration for e in self.execs)
+
+    def load_percent(self, span: float | None = None) -> list[float]:
+        """Per-CPU share of ``span`` spent computing (the Activity Monitor bars).
+
+        ``span`` defaults to the makespan.
+        """
+        span = self.makespan if span is None else span
+        if span <= 0:
+            return [0.0] * self.ncpus
+        return [100.0 * b / span for b in self.busy_per_cpu()]
+
+    def idle_time(self, span: float | None = None) -> list[float]:
+        span = self.makespan if span is None else span
+        return [max(span - b, 0.0) for b in self.busy_per_cpu()]
+
+    def cumulated_idleness(self) -> float:
+        """Sum of idle time over CPUs (the idleness-history metric)."""
+        return sum(self.idle_time())
+
+    def imbalance(self) -> float:
+        """max busy / mean busy, >= 1.0; 1.0 means perfect balance."""
+        busy = self.busy_per_cpu()
+        if not busy or sum(busy) == 0:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    def speedup_vs(self, seq_time: float) -> float:
+        """Speedup against a sequential execution time."""
+        span = self.makespan
+        return seq_time / span if span > 0 else float("inf")
+
+    # -- per-CPU structure ----------------------------------------------------------
+    def lanes(self) -> dict[int, list[TaskExec]]:
+        """Executions grouped per CPU, sorted by start time (Gantt lanes)."""
+        out: dict[int, list[TaskExec]] = {c: [] for c in range(self.ncpus)}
+        for e in self.execs:
+            out.setdefault(e.cpu, []).append(e)
+        for lane in out.values():
+            lane.sort(key=lambda e: (e.start, e.end))
+        return out
+
+    def assignment(self) -> dict[Any, int]:
+        """Mapping item -> cpu (the tiling-window colouring)."""
+        return {e.item: e.cpu for e in self.execs}
+
+    def items_of_cpu(self, cpu: int) -> list[Any]:
+        """Items computed by ``cpu`` in execution order (coverage map)."""
+        lane = sorted(
+            (e for e in self.execs if e.cpu == cpu), key=lambda e: e.start
+        )
+        return [e.item for e in lane]
+
+    def filtered(self, pred: Callable[[TaskExec], bool]) -> "Timeline":
+        return Timeline([e for e in self.execs if pred(e)], ncpus=self.ncpus)
+
+    def shifted(self, dt: float) -> "Timeline":
+        """A copy with all times translated by ``dt`` (used to concatenate
+        per-iteration timelines into a run-level trace)."""
+        return Timeline(
+            [
+                TaskExec(e.item, e.cpu, e.start + dt, e.end + dt, dict(e.meta))
+                for e in self.execs
+            ],
+            ncpus=self.ncpus,
+        )
+
+    # -- invariants -------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`SimulationError` if broken.
+
+        * every execution has ``0 <= start <= end``;
+        * executions on the same CPU never overlap.
+        """
+        for e in self.execs:
+            if e.start < -_EPS or e.end < e.start - _EPS:
+                raise SimulationError(f"bad interval in {e}")
+            if not (0 <= e.cpu < self.ncpus):
+                raise SimulationError(f"cpu {e.cpu} out of range in {e}")
+        for cpu, lane in self.lanes().items():
+            for a, b in zip(lane, lane[1:]):
+                if b.start < a.end - _EPS:
+                    raise SimulationError(
+                        f"overlap on cpu {cpu}: {a} then {b}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Timeline({len(self.execs)} execs, ncpus={self.ncpus}, "
+            f"makespan={self.makespan:.6g})"
+        )

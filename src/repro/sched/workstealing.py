@@ -1,0 +1,120 @@
+"""Work-stealing simulation for ``nonmonotonic:dynamic``.
+
+The paper (Fig. 4c) describes OpenMP 5's nonmonotonic dynamic schedule
+as observed through the tiling window: *"tiles are first distributed in
+a static manner, but work-stealing is eventually used to correct load
+imbalance"*.  We model exactly that: each CPU owns a contiguous block of
+the iteration space and consumes it from the front in chunks of ``k``;
+a CPU whose block is exhausted steals from the *back* of the block of
+the victim with the most remaining iterations (or half the victim's
+block with ``steal_half=True`` — the ABL2 ablation knob).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Sequence
+
+from repro.sched.costmodel import CostModel
+from repro.sched.policies import Chunk, NonMonotonicDynamic
+from repro.sched.timeline import TaskExec, Timeline
+
+__all__ = ["simulate_stealing"]
+
+
+class _Block:
+    """A [lo, hi) range consumed from both ends (owner: front, thief: back)."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int):
+        self.lo = lo
+        self.hi = hi
+
+    @property
+    def remaining(self) -> int:
+        return max(self.hi - self.lo, 0)
+
+    def take_front(self, k: int) -> Chunk:
+        lo = self.lo
+        hi = min(lo + k, self.hi)
+        self.lo = hi
+        return Chunk(lo, hi)
+
+    def take_back(self, k: int) -> Chunk:
+        hi = self.hi
+        lo = max(hi - k, self.lo)
+        self.hi = lo
+        return Chunk(lo, hi)
+
+
+def simulate_stealing(
+    costs: Sequence[float],
+    policy: NonMonotonicDynamic,
+    ncpus: int,
+    items: Sequence[Any],
+    model: CostModel,
+    start_time: float,
+    base_meta: dict,
+    grab_cls,
+    result_cls,
+):
+    """Event-driven simulation; returns a ``SimResult``.
+
+    Deterministic: ties in free time break by CPU index, victim choice
+    is the largest remaining block (ties by lowest CPU index).
+    """
+    n = len(costs)
+    timeline = Timeline(ncpus=ncpus)
+    grabs = []
+    steals = 0
+    blocks = [_Block(c.lo, c.hi) for c in policy.initial_blocks(n, ncpus)]
+    k = policy.chunk
+
+    # Inline chunk execution (kept local to avoid an import cycle with
+    # simulator.py, which imports this module).
+    def run_chunk(chunk: Chunk, cpu: int, t: float, stolen: bool) -> float:
+        for idx in chunk.indices():
+            end = t + costs[idx]
+            m = dict(base_meta)
+            m["index"] = idx
+            if stolen:
+                m["stolen"] = True
+            timeline.append(TaskExec(items[idx], cpu, t, end, m))
+            t = end
+        return t
+
+    heap: list[tuple[float, int]] = [(start_time, cpu) for cpu in range(ncpus)]
+    heapq.heapify(heap)
+    done = 0
+    parked: list[tuple[float, int]] = []
+    while done < n:
+        if not heap:  # pragma: no cover - defensive; cannot happen while done < n
+            break
+        t, cpu = heapq.heappop(heap)
+        own = blocks[cpu]
+        if own.remaining > 0:
+            t += model.dispatch_overhead
+            chunk = own.take_front(k)
+            grabs.append(grab_cls(cpu, t, chunk, stolen=False))
+            t = run_chunk(chunk, cpu, t, stolen=False)
+            done += len(chunk)
+            heapq.heappush(heap, (t, cpu))
+            continue
+        # Steal: pick the victim with the most remaining work.
+        victim = max(range(ncpus), key=lambda c: (blocks[c].remaining, -c))
+        if blocks[victim].remaining == 0:
+            # Nothing left anywhere *right now*; but other CPUs scheduled
+            # later in the heap may still hold unconsumed front chunks —
+            # they don't (blocks are global state), so this CPU is done.
+            parked.append((t, cpu))
+            continue
+        t += model.steal_overhead
+        amount = max(blocks[victim].remaining // 2, k) if policy.steal_half else k
+        chunk = blocks[victim].take_back(amount)
+        steals += 1
+        grabs.append(grab_cls(cpu, t, chunk, stolen=True))
+        t = run_chunk(chunk, cpu, t, stolen=True)
+        done += len(chunk)
+        heapq.heappush(heap, (t, cpu))
+    return result_cls(timeline, grabs, steals)

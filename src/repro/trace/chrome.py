@@ -1,0 +1,69 @@
+"""Chrome trace-event export.
+
+EASYPAP's related-work section situates EASYVIEW among "outstanding
+tools developed to visualize and analyze execution traces" (Aftermath,
+Vampir, ViTE...).  This module bridges to that world: a recorded
+:class:`~repro.trace.events.Trace` exports to the Chrome/Perfetto
+trace-event JSON format, so traces can also be opened in
+``chrome://tracing`` / https://ui.perfetto.dev — a gentle hand-off from
+EASYVIEW to industrial-strength viewers.
+
+Format reference: complete ('X') duration events with microsecond
+timestamps; one thread id per virtual CPU.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.trace.events import Trace
+
+__all__ = ["to_chrome_events", "save_chrome_trace"]
+
+
+def to_chrome_events(trace: Trace) -> list[dict]:
+    """Convert a trace to a list of Chrome 'X' (complete) events."""
+    events: list[dict] = []
+    m = trace.meta
+    for cpu in range(trace.ncpus):
+        events.append({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 1,
+            "tid": cpu,
+            "args": {"name": f"CPU {cpu}"},
+        })
+    for e in trace.events:
+        name = e.kind
+        args = {"iteration": e.iteration}
+        if e.has_tile:
+            name = f"{e.kind} ({e.x},{e.y}) {e.w}x{e.h}"
+            args.update(x=e.x, y=e.y, w=e.w, h=e.h)
+        if e.extra:
+            args.update(e.extra)
+        events.append({
+            "ph": "X",
+            "name": name,
+            "cat": m.kernel or "kernel",
+            "pid": 1,
+            "tid": e.cpu,
+            "ts": e.start * 1e6,  # microseconds
+            "dur": e.duration * 1e6,
+            "args": args,
+        })
+    return events
+
+
+def save_chrome_trace(trace: Trace, path: str | os.PathLike) -> Path:
+    """Write ``trace`` as a Chrome trace-event JSON file."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "traceEvents": to_chrome_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": trace.meta.to_dict(),
+    }
+    p.write_text(json.dumps(doc), encoding="utf-8")
+    return p

@@ -1,0 +1,132 @@
+"""Two-trace comparison — EASYVIEW's "nice trace comparison feature".
+
+Paper Fig. 10 stacks two traces of the blur kernel (basic vs optimized)
+on a shared time scale and lets students discover that inner tiles got
+~10x faster while the whole kernel gained ~3x.  :class:`TraceComparison`
+computes those numbers and renders the stacked view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import Trace, TraceEvent
+from repro.trace.gantt import GanttChart
+from repro.trace.stats import duration_stats, iteration_spans
+from repro.view.svg import SvgCanvas
+
+__all__ = ["TraceComparison", "match_tiles"]
+
+
+def match_tiles(a: Trace, b: Trace, iteration: int) -> list[tuple[TraceEvent, TraceEvent]]:
+    """Pair events of one iteration by tile rectangle (same decomposition)."""
+    index = {
+        (e.x, e.y, e.w, e.h): e for e in b.iteration_events(iteration) if e.has_tile
+    }
+    pairs = []
+    for e in a.iteration_events(iteration):
+        if e.has_tile:
+            other = index.get((e.x, e.y, e.w, e.h))
+            if other is not None:
+                pairs.append((e, other))
+    return pairs
+
+
+@dataclass
+class TileSpeedup:
+    """Per-tile duration ratio between two traces."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+    before: float
+    after: float
+
+    @property
+    def factor(self) -> float:
+        return self.before / self.after if self.after > 0 else float("inf")
+
+
+class TraceComparison:
+    """Compare a 'before' trace against an 'after' trace."""
+
+    def __init__(self, before: Trace, after: Trace):
+        self.before = before
+        self.after = after
+
+    # -- aggregate numbers ------------------------------------------------------
+    def overall_factor(self) -> float:
+        """Total-span ratio (the ~3x of Fig. 10)."""
+        a = sum(iteration_spans(self.before).values())
+        b = sum(iteration_spans(self.after).values())
+        return a / b if b > 0 else float("inf")
+
+    def duration_summary(self) -> tuple:
+        return duration_stats(self.before), duration_stats(self.after)
+
+    def tile_speedups(self, iteration: int | None = None) -> list[TileSpeedup]:
+        if iteration is not None:
+            iters = [iteration]
+        else:
+            iters = sorted(set(self.before.iterations) & set(self.after.iterations))
+        out = []
+        for it in iters:
+            for ea, eb in match_tiles(self.before, self.after, it):
+                out.append(
+                    TileSpeedup(ea.x, ea.y, ea.w, ea.h, ea.duration, eb.duration)
+                )
+        return out
+
+    def speedup_quantiles(self, qs=(0.5, 0.9)) -> list[float]:
+        factors = [s.factor for s in self.tile_speedups() if np.isfinite(s.factor)]
+        if not factors:
+            return [0.0 for _ in qs]
+        return [float(np.quantile(factors, q)) for q in qs]
+
+    def faster_tile_fraction(self, threshold: float) -> float:
+        """Fraction of matched tiles at least ``threshold`` x faster —
+        "many tasks are approximately 10 times faster"."""
+        sp = self.tile_speedups()
+        if not sp:
+            return 0.0
+        return sum(1 for s in sp if s.factor >= threshold) / len(sp)
+
+    # -- rendering ------------------------------------------------------------------
+    def to_svg(self, width: float = 900.0) -> SvgCanvas:
+        """Stacked Gantt charts on a shared time scale (Fig. 10 layout:
+        optimized on top, basic at the bottom)."""
+        top = GanttChart(self.after)
+        bottom = GanttChart(self.before)
+        span = max(top.span, bottom.span) or 1.0
+        # draw each chart into its own canvas scaled by the shared span
+        def chart_svg(chart: GanttChart, label: str) -> SvgCanvas:
+            sub = chart.to_svg(width * (chart.span / span or 1.0), title=label)
+            return sub
+
+        top_svg = chart_svg(top, f"after: {self.after.meta.variant}")
+        bot_svg = chart_svg(bottom, f"before: {self.before.meta.variant}")
+        h = top_svg.height + bot_svg.height + 10
+        combined = SvgCanvas(width, h)
+        combined._parts.append(f'<g transform="translate(0,0)">{top_svg.tostring()}</g>')
+        combined._parts.append(
+            f'<g transform="translate(0,{top_svg.height + 10})">{bot_svg.tostring()}</g>'
+        )
+        return combined
+
+    def report(self) -> str:
+        """Human-readable comparison summary."""
+        sb, sa = self.duration_summary()
+        med, p90 = self.speedup_quantiles()
+        lines = [
+            f"before: {self.before.meta.kernel}/{self.before.meta.variant} "
+            f"({sb.count} tasks, total {sb.total * 1e3:.3f} ms)",
+            f"after:  {self.after.meta.kernel}/{self.after.meta.variant} "
+            f"({sa.count} tasks, total {sa.total * 1e3:.3f} ms)",
+            f"overall speedup: x{self.overall_factor():.2f}",
+            f"per-tile speedup: median x{med:.2f}, p90 x{p90:.2f}",
+            f"tiles >= 8x faster: {self.faster_tile_fraction(8.0) * 100:.1f}%",
+        ]
+        return "\n".join(lines)

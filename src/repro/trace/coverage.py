@@ -1,0 +1,82 @@
+"""Coverage maps: which image areas a CPU computed over a period.
+
+EASYVIEW's horizontal mouse mode (paper §II-D, §III-B): selecting a CPU
+highlights all tiles it executed during the displayed iterations — the
+"coverage map", used to *see* the locality of a scheduling policy
+(Fig. 10: nonmonotonic:dynamic keeps a CPU's tiles regrouped in one
+area across iterations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import Trace
+
+__all__ = ["coverage_mask", "coverage_counts", "locality_score", "mean_spread"]
+
+
+def coverage_mask(
+    trace: Trace,
+    cpu: int,
+    dim: int,
+    first_it: int | None = None,
+    last_it: int | None = None,
+) -> np.ndarray:
+    """Boolean (dim, dim) mask of pixels computed by ``cpu`` over the
+    iteration range — the purple squares of Fig. 10."""
+    mask = np.zeros((dim, dim), dtype=bool)
+    its = trace.iterations
+    lo = (its[0] if its else 0) if first_it is None else first_it
+    hi = (its[-1] if its else 0) if last_it is None else last_it
+    for e in trace.iteration_range(lo, hi):
+        if e.cpu == cpu and e.has_tile:
+            mask[e.y : e.y + e.h, e.x : e.x + e.w] = True
+    return mask
+
+
+def coverage_counts(
+    trace: Trace, dim: int, first_it: int | None = None, last_it: int | None = None
+) -> np.ndarray:
+    """(ncpus, dim, dim) per-CPU visit counts (how often each pixel area
+    was computed by each CPU)."""
+    counts = np.zeros((trace.ncpus, dim, dim), dtype=np.int32)
+    its = trace.iterations
+    lo = (its[0] if its else 0) if first_it is None else first_it
+    hi = (its[-1] if its else 0) if last_it is None else last_it
+    for e in trace.iteration_range(lo, hi):
+        if e.has_tile and 0 <= e.cpu < trace.ncpus:
+            counts[e.cpu, e.y : e.y + e.h, e.x : e.x + e.w] += 1
+    return counts
+
+
+def mean_spread(trace: Trace, cpu: int, first_it: int | None = None, last_it: int | None = None) -> float:
+    """Mean Euclidean distance of a CPU's tile centers from their
+    centroid, normalized by the image diagonal — 0 means all work in one
+    spot, larger means scattered."""
+    its = trace.iterations
+    lo = (its[0] if its else 0) if first_it is None else first_it
+    hi = (its[-1] if its else 0) if last_it is None else last_it
+    centers = [
+        (e.y + e.h / 2.0, e.x + e.w / 2.0)
+        for e in trace.iteration_range(lo, hi)
+        if e.cpu == cpu and e.has_tile
+    ]
+    if not centers:
+        return 0.0
+    pts = np.array(centers)
+    centroid = pts.mean(axis=0)
+    d = np.sqrt(((pts - centroid) ** 2).sum(axis=1)).mean()
+    diag = np.sqrt(2.0) * max(trace.meta.dim, 1)
+    return float(d / diag)
+
+
+def locality_score(trace: Trace, first_it: int | None = None, last_it: int | None = None) -> float:
+    """Average spread over CPUs (lower = better locality).
+
+    Lets benchmarks compare policies quantitatively: static < guided <
+    nonmonotonic < dynamic, typically.
+    """
+    spreads = [mean_spread(trace, c, first_it, last_it) for c in range(trace.ncpus)]
+    spreads = [s for s in spreads if s > 0.0] or [0.0]
+    return float(np.mean(spreads))

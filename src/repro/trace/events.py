@@ -1,0 +1,131 @@
+"""Trace data model.
+
+The ``--trace`` option records tile-related profiling events (start/end
+time, tile coordinates, CPU) into a trace file explored off-line with
+EASYVIEW.  :class:`TraceEvent` is one such event; :class:`Trace` is a
+full recording with its run metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Iterator
+
+__all__ = ["TraceEvent", "TraceMeta", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task execution, as stored in a trace file.
+
+    ``x, y, w, h`` locate the tile in the image (all -1 for events not
+    tied to a tile); ``kind`` distinguishes tile computations from tasks
+    and other instrumented sections.
+    """
+
+    iteration: int
+    cpu: int
+    start: float
+    end: float
+    x: int = -1
+    y: int = -1
+    w: int = -1
+    h: int = -1
+    kind: str = "tile"
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def has_tile(self) -> bool:
+        return self.x >= 0 and self.y >= 0
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        if not d["extra"]:
+            del d["extra"]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEvent":
+        return cls(
+            iteration=int(d["iteration"]),
+            cpu=int(d["cpu"]),
+            start=float(d["start"]),
+            end=float(d["end"]),
+            x=int(d.get("x", -1)),
+            y=int(d.get("y", -1)),
+            w=int(d.get("w", -1)),
+            h=int(d.get("h", -1)),
+            kind=str(d.get("kind", "tile")),
+            extra=dict(d.get("extra", {})),
+        )
+
+
+@dataclass
+class TraceMeta:
+    """Run configuration stored in the trace header (and shown by EASYVIEW)."""
+
+    kernel: str = "?"
+    variant: str = "?"
+    dim: int = 0
+    tile_w: int = 0
+    tile_h: int = 0
+    ncpus: int = 0
+    schedule: str = ""
+    iterations: int = 0
+    label: str = ""
+    machine: str = "virtual"
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceMeta":
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        return cls(**kwargs)
+
+
+class Trace:
+    """A recorded run: metadata + chronologically ordered events."""
+
+    def __init__(self, meta: TraceMeta | None = None, events: list[TraceEvent] | None = None):
+        self.meta = meta or TraceMeta()
+        self.events: list[TraceEvent] = list(events or [])
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    @property
+    def ncpus(self) -> int:
+        if self.meta.ncpus:
+            return self.meta.ncpus
+        return 1 + max((e.cpu for e in self.events), default=-1)
+
+    @property
+    def iterations(self) -> list[int]:
+        return sorted({e.iteration for e in self.events})
+
+    @property
+    def duration(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def iteration_events(self, iteration: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.iteration == iteration]
+
+    def iteration_range(self, lo: int, hi: int) -> list[TraceEvent]:
+        """Events of iterations in [lo, hi] (EASYVIEW's selectable range)."""
+        return [e for e in self.events if lo <= e.iteration <= hi]
+
+    def cpu_events(self, cpu: int) -> list[TraceEvent]:
+        return sorted((e for e in self.events if e.cpu == cpu), key=lambda e: e.start)
+
+    def sorted(self) -> "Trace":
+        return Trace(self.meta, sorted(self.events, key=lambda e: (e.start, e.cpu)))

@@ -1,0 +1,132 @@
+"""Gantt-chart construction and the mouse-linking queries of EASYVIEW.
+
+The left side of EASYVIEW is a per-CPU Gantt chart over a selectable
+iteration range; moving the mouse vertically selects a time (tasks at
+that x-position get their tile highlighted on the thumbnail), moving it
+horizontally selects a CPU (its tiles over the period form the coverage
+map).  :class:`GanttChart` provides those exact queries, plus ASCII and
+SVG renderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import Trace, TraceEvent
+from repro.view.colors import cpu_color
+from repro.view.svg import SvgCanvas
+
+__all__ = ["GanttChart"]
+
+
+class GanttChart:
+    """A per-CPU view of (a slice of) a trace."""
+
+    def __init__(self, trace: Trace, first_it: int | None = None, last_it: int | None = None):
+        its = trace.iterations
+        if not its:
+            self.events: list[TraceEvent] = []
+        else:
+            lo = its[0] if first_it is None else first_it
+            hi = its[-1] if last_it is None else last_it
+            self.events = trace.iteration_range(lo, hi)
+        self.trace = trace
+        self.ncpus = trace.ncpus
+        self.t0 = min((e.start for e in self.events), default=0.0)
+        self.t1 = max((e.end for e in self.events), default=0.0)
+
+    # -- structure ---------------------------------------------------------------
+    def lanes(self) -> list[list[TraceEvent]]:
+        out: list[list[TraceEvent]] = [[] for _ in range(self.ncpus)]
+        for e in self.events:
+            if 0 <= e.cpu < self.ncpus:
+                out[e.cpu].append(e)
+        for lane in out:
+            lane.sort(key=lambda e: e.start)
+        return out
+
+    @property
+    def span(self) -> float:
+        return self.t1 - self.t0
+
+    # -- mouse queries --------------------------------------------------------------
+    def tasks_at_time(self, t: float) -> list[TraceEvent]:
+        """Vertical mouse mode: tasks whose interval contains ``t`` —
+        their tiles get highlighted over the thumbnail."""
+        return [e for e in self.events if e.start <= t <= e.end]
+
+    def tiles_at_time(self, t: float) -> list[tuple[int, int, int, int]]:
+        """The (x, y, w, h) rectangles to highlight at time ``t``."""
+        return [(e.x, e.y, e.w, e.h) for e in self.tasks_at_time(t) if e.has_tile]
+
+    def cpu_tasks(self, cpu: int) -> list[TraceEvent]:
+        """Horizontal mouse mode: all displayed tasks of one CPU."""
+        return sorted(
+            (e for e in self.events if e.cpu == cpu), key=lambda e: e.start
+        )
+
+    def task_at(self, cpu: int, t: float) -> TraceEvent | None:
+        """The task under the mouse (its duration goes in the pop-up bubble)."""
+        for e in self.cpu_tasks(cpu):
+            if e.start <= t <= e.end:
+                return e
+        return None
+
+    # -- renderings --------------------------------------------------------------------
+    def to_ascii(self, width: int = 100) -> str:
+        """One text row per CPU; each column is a time slot showing the
+        task occupying it (by tile index glyph) or '.' when idle."""
+        if not self.events or self.span <= 0:
+            return "(empty gantt)"
+        lines = []
+        dt = self.span / width
+        for cpu, lane in enumerate(self.lanes()):
+            row = []
+            for col in range(width):
+                t = self.t0 + (col + 0.5) * dt
+                busy = any(e.start <= t < e.end for e in lane)
+                row.append("#" if busy else ".")
+            lines.append(f"CPU {cpu:2d} |{''.join(row)}|")
+        lines.append(
+            f"        {self.t0 * 1e3:.3f} ms  ..  {self.t1 * 1e3:.3f} ms "
+            f"({len(self.events)} tasks)"
+        )
+        return "\n".join(lines)
+
+    def to_svg(
+        self,
+        width: float = 900.0,
+        lane_height: float = 22.0,
+        *,
+        title: str | None = None,
+    ) -> SvgCanvas:
+        """The EASYVIEW Gantt rendering: one lane per CPU, one rect per
+        task (hover shows duration + tile coordinates)."""
+        margin_left, margin_top = 60.0, 30.0
+        h = margin_top + self.ncpus * (lane_height + 4) + 20
+        svg = SvgCanvas(width, h)
+        if title or self.trace.meta.kernel != "?":
+            label = title or (
+                f"{self.trace.meta.kernel}/{self.trace.meta.variant} "
+                f"dim={self.trace.meta.dim} threads={self.trace.meta.ncpus} "
+                f"schedule={self.trace.meta.schedule}"
+            )
+            svg.text(margin_left, 18, label, size=12)
+        span = self.span or 1.0
+        scale = (width - margin_left - 10) / span
+        for cpu in range(self.ncpus):
+            y = margin_top + cpu * (lane_height + 4)
+            svg.text(5, y + lane_height * 0.7, f"CPU {cpu}", size=10)
+            svg.rect(margin_left, y, width - margin_left - 10, lane_height, fill="#f2f2f2")
+        for e in self.events:
+            if not (0 <= e.cpu < self.ncpus):
+                continue
+            y = margin_top + e.cpu * (lane_height + 4)
+            x = margin_left + (e.start - self.t0) * scale
+            w = max((e.end - e.start) * scale, 0.5)
+            r, g, b = cpu_color(e.cpu)
+            tip = f"{e.duration * 1e6:.1f} us"
+            if e.has_tile:
+                tip += f"  tile(x={e.x}, y={e.y}, {e.w}x{e.h})  it={e.iteration}"
+            svg.rect(x, y + 1, w, lane_height - 2, fill=f"rgb({r},{g},{b})", title=tip)
+        return svg

@@ -1,0 +1,71 @@
+"""Trace recorder: turns scheduler timelines into trace events."""
+
+from __future__ import annotations
+
+from repro.core.tiling import Tile
+from repro.sched.timeline import TaskExec, Timeline
+from repro.trace.events import Trace, TraceEvent, TraceMeta
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` s during a run.
+
+    The execution context feeds it every timeline produced by the
+    parallel runtime; the engine stamps metadata and hands the final
+    :class:`Trace` to the writer (``--trace``) or directly to EASYVIEW.
+    """
+
+    def __init__(self, meta: TraceMeta | None = None):
+        self.meta = meta or TraceMeta()
+        self.events: list[TraceEvent] = []
+        self.enabled = True
+
+    def record_timeline(self, timeline: Timeline, *, kind: str = "tile") -> None:
+        if not self.enabled:
+            return
+        for e in timeline.execs:
+            self.record_exec(e, kind=kind)
+
+    def record_exec(self, e: TaskExec, *, kind: str = "tile") -> None:
+        if not self.enabled:
+            return
+        item = e.item
+        if isinstance(item, Tile):
+            x, y, w, h = item.as_rect()
+        else:
+            x = y = w = h = -1
+        extra = {
+            k: v for k, v in e.meta.items() if k not in ("iteration", "kind")
+        }
+        self.events.append(
+            TraceEvent(
+                iteration=int(e.meta.get("iteration", 0)),
+                cpu=e.cpu,
+                start=e.start,
+                end=e.end,
+                x=x,
+                y=y,
+                w=w,
+                h=h,
+                kind=str(e.meta.get("kind", kind)),
+                extra=extra,
+            )
+        )
+
+    def record_section(
+        self, iteration: int, cpu: int, start: float, end: float, kind: str
+    ) -> None:
+        """Record a non-tile instrumented section (e.g. ghost exchange)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(iteration=iteration, cpu=cpu, start=start, end=end, kind=kind)
+        )
+
+    def to_trace(self) -> Trace:
+        return Trace(self.meta, sorted(self.events, key=lambda e: (e.start, e.cpu)))
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,76 @@
+"""Wall-clock timing helpers.
+
+The framework mostly runs on *virtual* time produced by the scheduling
+simulator, but performance mode and the real ``threads`` backend need
+wall-clock measurements; this module centralizes them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way EASYPAP's performance mode does.
+
+    >>> format_duration(0.579)
+    '579.000 ms'
+    """
+    ms = seconds * 1e3
+    if ms >= 1.0 or ms == 0.0:
+        return f"{ms:.3f} ms"
+    return f"{ms * 1e3:.3f} us"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with ``start``/``stop``/``elapsed``.
+
+    Can be used as a context manager::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed)
+    """
+
+    _t0: float | None = None
+    _acc: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    def start(self) -> "Stopwatch":
+        if self._t0 is not None:
+            raise RuntimeError("stopwatch already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._t0
+        self._t0 = None
+        self._acc += lap
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated time (including the current lap if running)."""
+        cur = time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+        return self._acc + cur
+
+    def reset(self) -> None:
+        self._t0 = None
+        self._acc = 0.0
+        self.laps.clear()
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if self.running:
+            self.stop()

@@ -1,0 +1,23 @@
+"""Argument validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def check_positive(name: str, value: int | float) -> None:
+    """Raise :class:`ConfigError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def check_range(name: str, value: int | float, lo, hi) -> None:
+    """Raise :class:`ConfigError` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigError(f"{name} must be a power of two, got {value!r}")

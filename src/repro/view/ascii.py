@@ -1,0 +1,88 @@
+"""Terminal renderers: the monitoring windows, drawn with characters.
+
+These are the interactive SDL windows of EASYPAP translated to the
+terminal: the Tiling window (one glyph per tile, colored per thread),
+the Activity Monitor (per-CPU load bars + idleness history) and the
+heat-map mode (brightness ramp glyphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitor.records import IterationRecord
+
+__all__ = [
+    "render_tiling",
+    "render_heatmap",
+    "render_activity",
+    "render_idleness_history",
+]
+
+#: glyph used for each CPU in the tiling window (wraps after 36 CPUs)
+CPU_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+#: brightness ramp for heat maps (dark .. bright)
+HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def render_tiling(tiling: np.ndarray, stolen: np.ndarray | None = None) -> str:
+    """Render a tile→CPU map; '.' marks tiles not computed, stolen tiles
+    are shown upper-case — making Fig. 4's patterns visible in a terminal."""
+    lines = []
+    for r in range(tiling.shape[0]):
+        chars = []
+        for c in range(tiling.shape[1]):
+            cpu = int(tiling[r, c])
+            if cpu < 0:
+                chars.append(".")
+                continue
+            g = CPU_GLYPHS[cpu % len(CPU_GLYPHS)]
+            if stolen is not None and stolen[r, c]:
+                g = g.upper() if g.isalpha() else f"{g}"
+            chars.append(g)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_heatmap(heat: np.ndarray, vmax: float | None = None) -> str:
+    """Render per-tile durations as a brightness ramp (paper Fig. 9)."""
+    vmax = float(heat.max()) if vmax is None else float(vmax)
+    lines = []
+    for r in range(heat.shape[0]):
+        chars = []
+        for c in range(heat.shape[1]):
+            if vmax <= 0:
+                chars.append(HEAT_GLYPHS[0])
+            else:
+                t = min(max(float(heat[r, c]) / vmax, 0.0), 1.0)
+                chars.append(HEAT_GLYPHS[min(int(t * len(HEAT_GLYPHS)), len(HEAT_GLYPHS) - 1)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_activity(record: IterationRecord, width: int = 40) -> str:
+    """Per-CPU load bars for one iteration (the Activity Monitor)."""
+    lines = [f"iteration {record.iteration}  (span {record.span * 1e3:.3f} ms)"]
+    for cpu, load in enumerate(record.load_percent()):
+        filled = int(round(width * load / 100.0))
+        bar = "#" * filled + "-" * (width - filled)
+        lines.append(f"CPU {cpu:2d} [{bar}] {load:5.1f}%")
+    lines.append(f"idle this iteration: {record.idleness() * 1e3:.3f} ms")
+    return "\n".join(lines)
+
+
+def render_idleness_history(history: list[float], width: int = 60, height: int = 8) -> str:
+    """The cumulated-idleness diagram at the bottom of the Activity
+    Monitor window."""
+    if not history:
+        return "(no iterations recorded)"
+    vals = history[-width:]
+    vmax = max(vals) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        thresh = vmax * (level - 0.5) / height
+        rows.append("".join("|" if v >= thresh else " " for v in vals))
+    rows.append("-" * len(vals))
+    rows.append(f"cumulated idleness: {history[-1] * 1e3:.3f} ms over {len(history)} iterations")
+    return "\n".join(rows)

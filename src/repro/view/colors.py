@@ -1,0 +1,70 @@
+"""Color utilities shared by all renderers.
+
+Threads/CPUs get stable distinct colors, consistent across the Activity
+Monitor, the Tiling window and EASYVIEW Gantt charts — the paper makes
+a point of this cross-window color consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cpu_color", "cpu_palette", "heat_color", "heat_image", "CPU_COLORS"]
+
+#: RGB triples for CPUs 0..15 (wraps around beyond that)
+CPU_COLORS: list[tuple[int, int, int]] = [
+    (230, 60, 60),    # red
+    (70, 160, 240),   # blue
+    (80, 200, 100),   # green
+    (240, 200, 60),   # yellow
+    (180, 100, 240),  # purple
+    (255, 140, 40),   # orange
+    (70, 220, 220),   # cyan
+    (240, 110, 180),  # pink
+    (150, 200, 60),   # lime
+    (110, 110, 255),  # indigo
+    (200, 140, 100),  # brown
+    (120, 220, 170),  # mint
+    (220, 90, 110),   # raspberry
+    (90, 140, 180),   # steel
+    (170, 170, 90),   # olive
+    (160, 120, 200),  # lilac
+]
+
+
+def cpu_color(cpu: int) -> tuple[int, int, int]:
+    """The (r, g, b) color of a CPU/thread (-1 → dark gray: not computed)."""
+    if cpu < 0:
+        return (40, 40, 40)
+    return CPU_COLORS[cpu % len(CPU_COLORS)]
+
+
+def cpu_palette(ncpus: int) -> list[tuple[int, int, int]]:
+    return [cpu_color(c) for c in range(ncpus)]
+
+
+def heat_color(value: float, vmax: float) -> tuple[int, int, int]:
+    """Heat-map ramp: black → dark red → orange → white.
+
+    The paper's heat-map mode: "the brighter an area is, the more
+    time-consuming it is" (Fig. 9).
+    """
+    if vmax <= 0:
+        return (0, 0, 0)
+    t = min(max(value / vmax, 0.0), 1.0)
+    r = min(255, int(510 * t))
+    g = min(255, max(0, int(510 * (t - 0.35))))
+    b = min(255, max(0, int(510 * (t - 0.7))))
+    return (r, g, b)
+
+
+def heat_image(values: np.ndarray, vmax: float | None = None) -> np.ndarray:
+    """Vectorized heat ramp: (h, w) floats -> (h, w, 3) uint8 RGB."""
+    vmax = float(values.max()) if vmax is None else float(vmax)
+    if vmax <= 0:
+        return np.zeros(values.shape + (3,), dtype=np.uint8)
+    t = np.clip(values / vmax, 0.0, 1.0)
+    r = np.clip(510 * t, 0, 255)
+    g = np.clip(510 * (t - 0.35), 0, 255)
+    b = np.clip(510 * (t - 0.7), 0, 255)
+    return np.stack([r, g, b], axis=-1).astype(np.uint8)

@@ -1,0 +1,132 @@
+"""The monitoring dashboard: both EASYPAP windows in one SVG.
+
+Paper Fig. 3 shows the two side windows popped up by ``--monitoring``:
+the Tiling window (top) and the CPU monitoring window.  This module
+renders the equivalent composite for one iteration — tile→thread map,
+heat map, per-CPU load bars and the cumulated-idleness history — and an
+animated flip-book version (SMIL) that replays the tiling window over
+all iterations, the closest file-based equivalent of watching the
+window live.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.activity import Monitor
+from repro.monitor.records import IterationRecord
+from repro.view.colors import cpu_color, heat_color
+from repro.view.svg import SvgCanvas
+
+__all__ = ["dashboard_svg", "animated_tiling_svg"]
+
+_CELL = 14.0
+_GAP = 20.0
+
+
+def _draw_tiling(svg: SvgCanvas, rec: IterationRecord, ox: float, oy: float) -> float:
+    svg.text(ox, oy - 6, "Tiling window", size=11)
+    rows, cols = rec.tiling.shape
+    for r in range(rows):
+        for c in range(cols):
+            cr, cg, cb = cpu_color(int(rec.tiling[r, c]))
+            svg.rect(ox + c * _CELL, oy + r * _CELL, _CELL - 1, _CELL - 1,
+                     fill=f"rgb({cr},{cg},{cb})",
+                     title=f"tile ({r},{c}) -> CPU {int(rec.tiling[r, c])}")
+            if rec.stolen[r, c]:
+                svg.circle(ox + c * _CELL + _CELL / 2, oy + r * _CELL + _CELL / 2,
+                           2.0, fill="#ffffff")
+    return oy + rows * _CELL
+
+
+def _draw_heat(svg: SvgCanvas, rec: IterationRecord, ox: float, oy: float) -> float:
+    svg.text(ox, oy - 6, "Heat map (bright = slow)", size=11)
+    rows, cols = rec.tiling.shape
+    vmax = float(rec.heat.max()) or 1.0
+    for r in range(rows):
+        for c in range(cols):
+            cr, cg, cb = heat_color(float(rec.heat[r, c]), vmax)
+            svg.rect(ox + c * _CELL, oy + r * _CELL, _CELL - 1, _CELL - 1,
+                     fill=f"rgb({cr},{cg},{cb})",
+                     title=f"{rec.heat[r, c] * 1e6:.1f} us")
+    return oy + rows * _CELL
+
+
+def _draw_activity(svg: SvgCanvas, monitor: Monitor, rec: IterationRecord,
+                   ox: float, oy: float, width: float) -> float:
+    svg.text(ox, oy - 6, f"Activity Monitor (iteration {rec.iteration})", size=11)
+    loads = rec.load_percent()
+    bar_h = 14.0
+    for cpu, load in enumerate(loads):
+        y = oy + cpu * (bar_h + 4)
+        cr, cg, cb = cpu_color(cpu)
+        svg.rect(ox + 50, y, width - 60, bar_h, fill="#eeeeee")
+        svg.rect(ox + 50, y, (width - 60) * load / 100.0, bar_h,
+                 fill=f"rgb({cr},{cg},{cb})", title=f"{load:.1f}%")
+        svg.text(ox, y + bar_h - 3, f"CPU {cpu}", size=10)
+        svg.text(ox + width - 5, y + bar_h - 3, f"{load:.0f}%", size=9,
+                 anchor="end")
+    y = oy + len(loads) * (bar_h + 4) + 14
+    # idleness history sparkline
+    hist = monitor.idleness_history
+    if hist:
+        svg.text(ox, y - 2, "cumulated idleness", size=10)
+        vmax = max(hist) or 1.0
+        pts = [
+            (ox + 120 + i * max((width - 130) / max(len(hist) - 1, 1), 1.0),
+             y + 12 - 12 * v / vmax)
+            for i, v in enumerate(hist)
+        ]
+        if len(pts) > 1:
+            svg.polyline(pts, stroke="#cc4444")
+        y += 20
+    return y
+
+
+def dashboard_svg(monitor: Monitor, iteration_index: int = -1) -> SvgCanvas:
+    """The two monitoring windows for one recorded iteration."""
+    if not monitor.records:
+        raise ValueError("monitor holds no iteration records")
+    rec = monitor.records[iteration_index]
+    rows, cols = rec.tiling.shape
+    maps_w = cols * _CELL
+    width = max(2 * maps_w + 3 * _GAP, 420.0)
+    height = rows * _CELL + (monitor.ncpus + 2) * 18 + 110
+    svg = SvgCanvas(width, height)
+    y0 = 30.0
+    _draw_tiling(svg, rec, _GAP, y0)
+    _draw_heat(svg, rec, 2 * _GAP + maps_w, y0)
+    _draw_activity(svg, monitor, rec, _GAP, y0 + rows * _CELL + 30,
+                   width - 2 * _GAP)
+    return svg
+
+
+def animated_tiling_svg(monitor: Monitor, frame_seconds: float = 0.5) -> SvgCanvas:
+    """A SMIL flip-book of the tiling window across iterations.
+
+    Each frame's tile grid is shown in turn, looping — open in any
+    browser to watch the scheduling evolve like the live window.
+    """
+    if not monitor.records:
+        raise ValueError("monitor holds no iteration records")
+    rows, cols = monitor.records[0].tiling.shape
+    n = len(monitor.records)
+    total = n * frame_seconds
+    svg = SvgCanvas(cols * _CELL + 2 * _GAP, rows * _CELL + 2 * _GAP + 20)
+    svg.text(_GAP, 18, f"Tiling window, {n} iterations (animated)", size=11)
+    for i, rec in enumerate(monitor.records):
+        parts = []
+        for r in range(rows):
+            for c in range(cols):
+                cr, cg, cb = cpu_color(int(rec.tiling[r, c]))
+                parts.append(
+                    f'<rect x="{_GAP + c * _CELL:.1f}" y="{_GAP + 20 + r * _CELL:.1f}" '
+                    f'width="{_CELL - 1}" height="{_CELL - 1}" '
+                    f'fill="rgb({cr},{cg},{cb})"/>'
+                )
+        begin = i * frame_seconds
+        svg._parts.append(
+            f'<g opacity="0">{"".join(parts)}'
+            f'<animate attributeName="opacity" values="0;1;1;0" '
+            f'keyTimes="0;{begin / total:.4f};{(begin + frame_seconds) / total:.4f};1" '
+            f'dur="{total}s" repeatCount="indefinite" calcMode="discrete"/></g>'
+        )
+    return svg

@@ -1,0 +1,87 @@
+"""PPM/PGM image output — the SDL-window replacement for still frames.
+
+Packed uint32 EASYPAP images and (h, w, 3) RGB arrays both save to the
+binary PPM (P6) format readable by any image viewer; no image library
+is needed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["packed_to_rgb", "save_ppm", "save_pgm", "load_ppm"]
+
+
+def packed_to_rgb(img: np.ndarray) -> np.ndarray:
+    """(h, w) packed uint32 RGBA -> (h, w, 3) uint8 RGB (alpha dropped)."""
+    return np.stack(
+        [(img >> 24 & 0xFF), (img >> 16 & 0xFF), (img >> 8 & 0xFF)], axis=-1
+    ).astype(np.uint8)
+
+
+def save_ppm(img: np.ndarray, path: str | os.PathLike) -> Path:
+    """Save an image as binary PPM.  Accepts packed uint32 or (h, w, 3) RGB."""
+    if img.ndim == 2:
+        rgb = packed_to_rgb(img.astype(np.uint32))
+    elif img.ndim == 3 and img.shape[2] == 3:
+        rgb = img.astype(np.uint8)
+    else:
+        raise ConfigError(f"cannot save image of shape {img.shape} as PPM")
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    h, w = rgb.shape[:2]
+    with p.open("wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(rgb.tobytes())
+    return p
+
+
+def save_pgm(gray: np.ndarray, path: str | os.PathLike) -> Path:
+    """Save a (h, w) grayscale array (any dtype, scaled to 0-255) as PGM."""
+    if gray.ndim != 2:
+        raise ConfigError(f"cannot save array of shape {gray.shape} as PGM")
+    g = gray.astype(np.float64)
+    vmax = g.max()
+    g8 = (255 * g / vmax).astype(np.uint8) if vmax > 0 else np.zeros_like(g, dtype=np.uint8)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    h, w = g8.shape
+    with p.open("wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode())
+        fh.write(g8.tobytes())
+    return p
+
+
+def load_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PPM back into a (h, w, 3) uint8 array (round-trip
+    support for tests and the trace explorer's thumbnails)."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise ConfigError(f"{path}: not a binary PPM file")
+    # header: magic, width, height, maxval — separated by whitespace,
+    # possibly with comment lines
+    fields: list[bytes] = []
+    i = 2
+    while len(fields) < 3:
+        while i < len(data) and data[i : i + 1].isspace():
+            i += 1
+        if data[i : i + 1] == b"#":
+            while i < len(data) and data[i : i + 1] != b"\n":
+                i += 1
+            continue
+        j = i
+        while j < len(data) and not data[j : j + 1].isspace():
+            j += 1
+        fields.append(data[i:j])
+        i = j
+    i += 1  # single whitespace after maxval
+    w, h, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise ConfigError(f"{path}: unsupported maxval {maxval}")
+    pixels = np.frombuffer(data, dtype=np.uint8, count=w * h * 3, offset=i)
+    return pixels.reshape(h, w, 3).copy()

@@ -1,0 +1,104 @@
+"""Minimal SVG writer + chart primitives.
+
+No plotting library is available offline, so EASYVIEW's Gantt charts and
+easyplot's speedup graphs are emitted as hand-built SVG — which is also
+what makes the output diffable and testable.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from pathlib import Path
+
+__all__ = ["SvgCanvas"]
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+class SvgCanvas:
+    """An append-only SVG document."""
+
+    def __init__(self, width: float, height: float, background: str | None = "#ffffff"):
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background)
+
+    # -- primitives -----------------------------------------------------------
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        *,
+        fill: str = "#000000",
+        stroke: str | None = None,
+        opacity: float | None = None,
+        title: str | None = None,
+    ) -> None:
+        attrs = f'x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" height="{_fmt(h)}" fill="{fill}"'
+        if stroke:
+            attrs += f' stroke="{stroke}"'
+        if opacity is not None:
+            attrs += f' fill-opacity="{opacity}"'
+        if title:
+            # <title> renders as a hover bubble — the EASYVIEW task-duration
+            # pop-up (paper Fig. 7) in SVG form
+            self._parts.append(
+                f"<rect {attrs}><title>{html.escape(title)}</title></rect>"
+            )
+        else:
+            self._parts.append(f"<rect {attrs}/>")
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float, *, stroke: str = "#000000", width: float = 1.0
+    ) -> None:
+        self._parts.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" y2="{_fmt(y2)}" '
+            f'stroke="{stroke}" stroke-width="{_fmt(width)}"/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], *, stroke: str, width: float = 1.5) -> None:
+        pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" stroke-width="{_fmt(width)}"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, *, fill: str) -> None:
+        self._parts.append(f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" fill="{fill}"/>')
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: float = 11.0,
+        fill: str = "#202020",
+        anchor: str = "start",
+    ) -> None:
+        self._parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'font-family="sans-serif" fill="{fill}" text-anchor="{anchor}">'
+            f"{html.escape(content)}</text>"
+        )
+
+    # -- output ------------------------------------------------------------------
+    def tostring(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(self.width)}" '
+            f'height="{_fmt(self.height)}" viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | os.PathLike) -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.tostring(), encoding="utf-8")
+        return p

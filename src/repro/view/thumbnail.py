@@ -1,0 +1,43 @@
+"""Image thumbnails — the reduced surface view on EASYVIEW's right side."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.view.ppm import packed_to_rgb
+
+__all__ = ["thumbnail", "tiling_image", "heat_tile_image"]
+
+
+def thumbnail(img: np.ndarray, max_side: int = 128) -> np.ndarray:
+    """Downsample a packed uint32 image to at most ``max_side`` px
+    (block mean per channel), returning (h, w, 3) uint8 RGB."""
+    rgb = packed_to_rgb(img.astype(np.uint32)) if img.ndim == 2 else img
+    h, w = rgb.shape[:2]
+    f = max(1, -(-max(h, w) // max_side))
+    # crop to a multiple of f then block-average
+    hh, ww = (h // f) * f, (w // f) * f
+    r = rgb[:hh, :ww].reshape(hh // f, f, ww // f, f, 3).mean(axis=(1, 3))
+    return r.astype(np.uint8)
+
+
+def tiling_image(tiling: np.ndarray, cell: int = 8) -> np.ndarray:
+    """Render a tile→CPU map as an RGB image (the Tiling window)."""
+    from repro.view.colors import cpu_color
+
+    rows, cols = tiling.shape
+    out = np.zeros((rows * cell, cols * cell, 3), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            out[r * cell : (r + 1) * cell, c * cell : (c + 1) * cell] = cpu_color(
+                int(tiling[r, c])
+            )
+    return out
+
+
+def heat_tile_image(heat: np.ndarray, cell: int = 8) -> np.ndarray:
+    """Render per-tile durations as the heat-map window (Fig. 9)."""
+    from repro.view.colors import heat_image
+
+    hm = heat_image(heat)
+    return np.repeat(np.repeat(hm, cell, axis=0), cell, axis=1)

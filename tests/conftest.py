@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.sched.costmodel import CostModel
+
+
+def make_config(**kwargs) -> RunConfig:
+    """A small, fast default configuration for kernel tests."""
+    defaults = dict(
+        kernel="mandel",
+        variant="omp_tiled",
+        dim=64,
+        tile_w=16,
+        tile_h=16,
+        iterations=2,
+        nthreads=4,
+        schedule="dynamic",
+        seed=42,
+    )
+    defaults.update(kwargs)
+    return RunConfig(**defaults)
+
+
+@pytest.fixture
+def config():
+    return make_config()
+
+
+@pytest.fixture
+def zero_overhead_model():
+    """Cost model without scheduling overheads (exact-arithmetic tests)."""
+    return CostModel(
+        seconds_per_unit=1.0,
+        dispatch_overhead=0.0,
+        steal_overhead=0.0,
+        fork_join_overhead=0.0,
+    )
+
+
+@pytest.fixture
+def unit_model():
+    """1 work unit == 1 virtual second, small fixed overheads."""
+    return CostModel(
+        seconds_per_unit=1.0,
+        dispatch_overhead=0.01,
+        steal_overhead=0.05,
+        fork_join_overhead=0.1,
+    )

@@ -1,0 +1,87 @@
+"""Tests for the bottleneck-analysis module."""
+
+import pytest
+
+from repro.core.engine import run
+from repro.trace.analysis import (
+    analyze_iterations,
+    bottleneck_report,
+    critical_tasks,
+    efficiency,
+)
+from repro.trace.events import Trace, TraceEvent, TraceMeta
+from tests.conftest import make_config
+
+
+def ev(it=1, cpu=0, start=0.0, end=1.0, **kw):
+    return TraceEvent(iteration=it, cpu=cpu, start=start, end=end, **kw)
+
+
+class TestAnalyzeIterations:
+    def test_perfectly_balanced(self):
+        t = Trace(TraceMeta(ncpus=2),
+                  [ev(cpu=0, start=0, end=2), ev(cpu=1, start=0, end=2)])
+        (a,) = analyze_iterations(t)
+        assert a.span == 2.0
+        assert a.busy == 4.0
+        assert a.efficiency == pytest.approx(1.0)
+        assert a.waste == pytest.approx(0.0)
+
+    def test_half_idle(self):
+        t = Trace(TraceMeta(ncpus=2), [ev(cpu=0, start=0, end=2)])
+        (a,) = analyze_iterations(t)
+        assert a.efficiency == pytest.approx(0.5)
+        assert a.waste == pytest.approx(2.0)
+
+    def test_iterations_separated(self):
+        t = Trace(TraceMeta(ncpus=1),
+                  [ev(it=1, start=0, end=1), ev(it=2, start=1, end=3)])
+        parts = analyze_iterations(t)
+        assert [p.iteration for p in parts] == [1, 2]
+        assert parts[1].span == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert analyze_iterations(Trace()) == []
+        assert efficiency(Trace()) == 1.0
+        assert bottleneck_report(Trace()) == "(empty trace)"
+
+
+class TestEfficiencyOnRealRuns:
+    def test_static_less_efficient_than_dynamic_on_mandel(self):
+        cfg = dict(kernel="mandel", variant="omp_tiled", dim=128, tile_w=16,
+                   tile_h=16, iterations=2, nthreads=4, trace=True)
+        stat = run(make_config(schedule="static", **cfg))
+        dyn = run(make_config(schedule="dynamic", **cfg))
+        assert efficiency(stat.trace) < efficiency(dyn.trace)
+        assert efficiency(dyn.trace) > 0.9
+
+    def test_report_contents(self):
+        r = run(make_config(kernel="mandel", variant="omp_tiled",
+                            schedule="static", iterations=2, trace=True))
+        report = bottleneck_report(r.trace)
+        assert "parallel efficiency" in report
+        assert "worst" in report
+        assert "critical tasks" in report
+        assert "tile(" in report
+
+
+class TestCriticalTasks:
+    def test_ordering_and_count(self):
+        t = Trace(TraceMeta(ncpus=2), [
+            ev(cpu=0, start=0, end=1, x=0, y=0, w=4, h=4),
+            ev(cpu=1, start=0, end=5, x=4, y=0, w=4, h=4),
+            ev(cpu=0, start=1, end=2, x=0, y=4, w=4, h=4),
+        ])
+        top = critical_tasks(t, 1, top=2)
+        assert [e.end for e in top] == [5, 2]
+
+    def test_cli_analysis_flag(self, tmp_path, capsys):
+        from repro.cli import main as easypap_main
+        from repro.easyview_cli import main as easyview_main
+
+        evt = tmp_path / "t.evt"
+        easypap_main(["--kernel", "mandel", "--variant", "omp_tiled",
+                      "--size", "64", "--iterations", "2", "--trace",
+                      "--trace-file", str(evt)])
+        assert easyview_main([str(evt), "--analysis"]) == 0
+        assert "bottleneck analysis" in capsys.readouterr().out

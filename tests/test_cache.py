@@ -1,0 +1,116 @@
+"""Tests for the LRU cache model and per-task counters (EXT1)."""
+
+import pytest
+
+from repro.core.engine import run
+from repro.monitor.cache import (
+    CacheSpec,
+    LruCache,
+    simulate_trace_cache,
+    stencil_access_pattern,
+    transpose_access_pattern,
+)
+from repro.trace.events import TraceEvent
+from tests.conftest import make_config
+
+
+class TestLruCache:
+    def test_cold_miss_then_hit(self):
+        c = LruCache(CacheSpec(size_bytes=256, line_bytes=64))
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_eviction_is_lru(self):
+        c = LruCache(CacheSpec(size_bytes=128, line_bytes=64))  # 2 lines
+        c.access(0)
+        c.access(64)
+        c.access(0)  # refresh line 0
+        c.access(128)  # evicts line 1 (LRU)
+        assert c.access(0)  # still cached
+        assert not c.access(64)  # was evicted
+
+    def test_access_range_counts_lines(self):
+        c = LruCache(CacheSpec(size_bytes=1024, line_bytes=64))
+        h, m = c.access_range(0, 256)  # 4 lines
+        assert (h, m) == (0, 4)
+        h, m = c.access_range(0, 256)
+        assert (h, m) == (4, 0)
+
+    def test_access_range_straddles_lines(self):
+        c = LruCache(CacheSpec(size_bytes=1024, line_bytes=64))
+        h, m = c.access_range(60, 8)  # bytes 60..67: lines 0 and 1
+        assert m == 2
+
+    def test_reset(self):
+        c = LruCache(CacheSpec())
+        c.access(0)
+        c.reset()
+        assert c.hits == 0 and c.misses == 0
+        assert not c.access(0)
+
+
+class TestPatterns:
+    def test_stencil_includes_halo(self):
+        e = TraceEvent(iteration=1, cpu=0, start=0, end=1, x=8, y=8, w=4, h=4)
+        ranges = list(stencil_access_pattern(e, 64))
+        # 6 read rows (halo) + 4 write rows
+        assert len(ranges) == 10
+
+    def test_stencil_clips_at_border(self):
+        e = TraceEvent(iteration=1, cpu=0, start=0, end=1, x=0, y=0, w=4, h=4)
+        ranges = list(stencil_access_pattern(e, 64))
+        assert len(ranges) == 5 + 4  # rows 0..4 readable only
+
+    def test_transpose_write_is_strided(self):
+        e = TraceEvent(iteration=1, cpu=0, start=0, end=1, x=8, y=0, w=4, h=2)
+        ranges = list(transpose_access_pattern(e, 64))
+        reads = ranges[:2]
+        writes = ranges[2:]
+        assert len(writes) == 4  # one per transposed row
+        assert all(n == 2 * 4 for _, n in writes)  # h pixels * 4 bytes
+
+
+class TestTraceCache:
+    def test_blur_halo_rereads_hit(self):
+        r = run(make_config(kernel="blur", variant="omp_tiled", dim=32,
+                            tile_w=8, tile_h=8, iterations=2, nthreads=1,
+                            trace=True))
+        res = simulate_trace_cache(r.trace, 32, stencil_access_pattern,
+                                   CacheSpec(size_bytes=64 * 1024))
+        hits = sum(c.hits for _, c in res)
+        assert hits > 0  # halo rows shared between neighbouring tiles
+
+    def test_counters_attached_to_events(self):
+        r = run(make_config(kernel="transpose", variant="omp_tiled", dim=32,
+                            tile_w=8, tile_h=8, iterations=1, nthreads=2,
+                            trace=True))
+        res = simulate_trace_cache(r.trace, 32, transpose_access_pattern)
+        assert res
+        for e, c in res:
+            assert e.extra["cache"] == {"hits": c.hits, "misses": c.misses}
+
+    def test_private_caches_per_cpu(self):
+        # two CPUs touching the same data still each miss (private caches)
+        es = [
+            TraceEvent(iteration=1, cpu=0, start=0, end=1, x=0, y=0, w=4, h=4),
+            TraceEvent(iteration=1, cpu=1, start=1, end=2, x=0, y=0, w=4, h=4),
+        ]
+        from repro.trace.events import Trace, TraceMeta
+
+        tr = Trace(TraceMeta(ncpus=2), es)
+        res = simulate_trace_cache(tr, 64, stencil_access_pattern)
+        assert res[0][1].misses == res[1][1].misses
+
+    def test_tiny_cache_thrashes(self):
+        r = run(make_config(kernel="blur", variant="omp_tiled", dim=32,
+                            tile_w=8, tile_h=8, iterations=2, nthreads=1,
+                            trace=True))
+        big = simulate_trace_cache(r.trace, 32, stencil_access_pattern,
+                                   CacheSpec(size_bytes=256 * 1024))
+        small = simulate_trace_cache(r.trace, 32, stencil_access_pattern,
+                                     CacheSpec(size_bytes=256))
+        miss_big = sum(c.misses for _, c in big)
+        miss_small = sum(c.misses for _, c in small)
+        assert miss_small > miss_big

@@ -1,0 +1,111 @@
+"""Tests for the Chrome trace export and the taskloop construct."""
+
+import json
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.engine import run
+from repro.errors import DependencyError
+from repro.sched.costmodel import CostModel
+from repro.trace.chrome import save_chrome_trace, to_chrome_events
+from tests.conftest import make_config
+
+ZERO = CostModel(1.0, 0.0, 0.0, 0.0)
+
+
+class TestChromeExport:
+    def _trace(self):
+        return run(make_config(kernel="mandel", variant="omp_tiled",
+                               iterations=2, trace=True)).trace
+
+    def test_event_structure(self):
+        trace = self._trace()
+        events = to_chrome_events(trace)
+        xs = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == len(trace)
+        assert len(metas) == trace.ncpus
+        e = xs[0]
+        assert e["ts"] >= 0 and e["dur"] > 0
+        assert "tile" in e["name"]
+        assert e["args"]["iteration"] in (1, 2)
+        assert e["cat"] == "mandel"
+
+    def test_durations_in_microseconds(self):
+        trace = self._trace()
+        xs = [e for e in to_chrome_events(trace) if e["ph"] == "X"]
+        total_us = sum(e["dur"] for e in xs)
+        total_s = sum(ev.duration for ev in trace.events)
+        assert total_us == pytest.approx(total_s * 1e6)
+
+    def test_save_is_valid_json(self, tmp_path):
+        trace = self._trace()
+        p = save_chrome_trace(trace, tmp_path / "t.json")
+        doc = json.loads(p.read_text())
+        assert doc["otherData"]["kernel"] == "mandel"
+        assert len(doc["traceEvents"]) == len(trace) + trace.ncpus
+
+    def test_cli_chrome_export(self, tmp_path):
+        from repro.cli import main as easypap_main
+        from repro.easyview_cli import main as easyview_main
+
+        evt = tmp_path / "t.evt"
+        easypap_main(["--kernel", "mandel", "--variant", "omp_tiled",
+                      "--size", "64", "--iterations", "1", "--trace",
+                      "--trace-file", str(evt)])
+        out = tmp_path / "t.json"
+        assert easyview_main([str(evt), "--chrome", str(out)]) == 0
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_cli_coverage_map(self, tmp_path, capsys):
+        from repro.cli import main as easypap_main
+        from repro.easyview_cli import main as easyview_main
+
+        evt = tmp_path / "t.evt"
+        easypap_main(["--kernel", "mandel", "--variant", "omp_tiled",
+                      "--size", "64", "--tile-size", "16", "--iterations",
+                      "2", "--trace", "--trace-file", str(evt)])
+        assert easyview_main([str(evt), "--coverage", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage map of CPU 0" in out
+        assert "#" in out
+
+
+class TestTaskloop:
+    def _ctx(self):
+        return ExecutionContext(make_config(nthreads=4), model=ZERO)
+
+    def test_chunks_of_grainsize(self):
+        ctx = self._ctx()
+        with ctx.task_region() as tr:
+            tids = tr.taskloop(lambda i: 1.0, list(range(10)), grainsize=3)
+        assert len(tids) == 4  # 3+3+3+1
+        assert len(tr.graph) == 4
+
+    def test_work_is_summed_per_chunk(self):
+        ctx = self._ctx()
+        with ctx.task_region() as tr:
+            tr.taskloop(lambda i: float(i), [1, 2, 3, 4], grainsize=2)
+        costs = sorted(n.cost for n in tr.graph.nodes)
+        assert costs == [3.0, 7.0]
+
+    def test_tasks_are_independent(self):
+        ctx = self._ctx()
+        with ctx.task_region() as tr:
+            tr.taskloop(lambda i: 1.0, list(range(8)), grainsize=2)
+        assert tr.timeline.makespan == pytest.approx(2.0)  # 4 tasks on 4 cpus
+
+    def test_bad_grainsize(self):
+        ctx = self._ctx()
+        with ctx.task_region() as tr:
+            with pytest.raises(DependencyError):
+                tr.taskloop(lambda i: 1.0, [1], grainsize=0)
+
+    def test_all_items_executed(self):
+        ctx = self._ctx()
+        seen = []
+        with ctx.task_region() as tr:
+            tr.taskloop(lambda i: seen.append(i) or 1.0, list(range(13)),
+                        grainsize=4)
+        assert sorted(seen) == list(range(13))

@@ -1,0 +1,68 @@
+"""Tests for RunConfig validation and derived values."""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.errors import ConfigError, ScheduleError
+from repro.sched.policies import DynamicSchedule
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = RunConfig()
+        assert cfg.dim == 256 and cfg.tile_w == 32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dim=0),
+            dict(tile_w=0),
+            dict(tile_h=-1),
+            dict(dim=16, tile_w=32),
+            dict(iterations=0),
+            dict(nthreads=0),
+            dict(backend="cuda"),
+            dict(mpi_np=-1),
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigError):
+            RunConfig(**kwargs)
+
+    def test_bad_schedule_rejected_at_construction(self):
+        with pytest.raises(ScheduleError):
+            RunConfig(schedule="wat")
+
+
+class TestDerived:
+    def test_policy(self):
+        cfg = RunConfig(schedule="dynamic,2")
+        p = cfg.policy()
+        assert isinstance(p, DynamicSchedule) and p.chunk == 2
+
+    def test_grain_alias(self):
+        assert RunConfig(tile_w=16, tile_h=16).grain == 16
+
+    def test_with_returns_modified_copy(self):
+        a = RunConfig(dim=64, tile_w=16, tile_h=16)
+        b = a.with_(nthreads=8)
+        assert b.nthreads == 8 and a.nthreads != 8 or a.nthreads == 4
+        assert b.dim == 64
+        assert a is not b
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigError):
+            RunConfig(dim=64, tile_w=16, tile_h=16).with_(dim=8)
+
+    def test_csv_row_contents(self):
+        row = RunConfig(kernel="mandel", variant="omp", dim=128, tile_w=8,
+                        tile_h=8, nthreads=6, schedule="guided").csv_row()
+        assert row["kernel"] == "mandel"
+        assert row["threads"] == 6
+        assert row["schedule"] == "guided"
+        assert row["dim"] == 128
+
+    def test_label_mentions_key_params(self):
+        label = RunConfig(kernel="life", variant="lazy", dim=64, tile_w=16,
+                          tile_h=16, mpi_np=2).label()
+        assert "kernel=life" in label and "np=2" in label

@@ -1,0 +1,171 @@
+"""Tests for connected components — with networkx as the oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.kernels.connected import (
+    _seg_cummax_inplace,
+    draw_shapes,
+    draw_snake,
+    pass_down_right,
+    pass_up_left,
+)
+from tests.conftest import make_config
+
+
+def components_oracle(img: np.ndarray) -> list[set]:
+    """4-connected components of the foreground, via networkx."""
+    g = nx.Graph()
+    fg = np.argwhere(img != 0)
+    for y, x in fg:
+        g.add_node((y, x))
+        if y > 0 and img[y - 1, x] != 0:
+            g.add_edge((y, x), (y - 1, x))
+        if x > 0 and img[y, x - 1] != 0:
+            g.add_edge((y, x), (y, x - 1))
+    return list(nx.connected_components(g))
+
+
+class TestSegCummax:
+    def test_plain_running_max(self):
+        a = np.array([3, 1, 2, 5, 4], dtype=np.uint32)
+        changed = _seg_cummax_inplace(a)
+        assert changed
+        assert a.tolist() == [3, 3, 3, 5, 5]
+
+    def test_zeros_reset_segments(self):
+        a = np.array([5, 0, 1, 2, 0, 9, 1], dtype=np.uint32)
+        _seg_cummax_inplace(a)
+        assert a.tolist() == [5, 0, 1, 2, 0, 9, 9]
+
+    def test_no_change_reported_when_already_increasing(self):
+        a = np.array([1, 2, 3], dtype=np.uint32)
+        assert not _seg_cummax_inplace(a)
+        assert a.tolist() == [1, 2, 3]
+        b = np.array([3, 2, 1], dtype=np.uint32)
+        assert _seg_cummax_inplace(b)
+        assert b.tolist() == [3, 3, 3]
+
+    def test_all_background(self):
+        a = np.zeros(4, dtype=np.uint32)
+        assert not _seg_cummax_inplace(a)
+
+
+class TestPasses:
+    def test_down_right_propagates_max(self):
+        img = np.array(
+            [[1, 1, 0],
+             [0, 9, 0],
+             [0, 1, 1]], dtype=np.uint32)
+        pass_down_right(img, 0, 0, 3, 3)
+        # 9 flows right and down along fg
+        assert img[1, 1] == 9
+        assert img[2, 1] == 9 and img[2, 2] == 9
+
+    def test_up_left_propagates_max(self):
+        img = np.array(
+            [[1, 1, 0],
+             [0, 9, 0],
+             [0, 1, 1]], dtype=np.uint32)
+        pass_up_left(img, 0, 0, 3, 3)
+        assert img[0, 1] == 9 and img[0, 0] == 9
+
+    def test_background_blocks_propagation(self):
+        img = np.array([[5, 0, 1]], dtype=np.uint32)
+        pass_down_right(img, 0, 0, 3, 1)
+        assert img[0, 2] == 1
+
+    def test_tiled_pass_equals_whole_pass(self):
+        rng = np.random.default_rng(8)
+        img = (rng.random((16, 16)) < 0.6).astype(np.uint32) * rng.integers(
+            1, 1000, (16, 16)
+        ).astype(np.uint32)
+        whole = img.copy()
+        pass_down_right(whole, 0, 0, 16, 16)
+        tiled = img.copy()
+        for ty in range(0, 16, 4):
+            for tx in range(0, 16, 4):
+                pass_down_right(tiled, tx, ty, 4, 4)
+        assert np.array_equal(whole, tiled)
+
+    def test_tiled_upleft_equals_whole(self):
+        rng = np.random.default_rng(9)
+        img = (rng.random((16, 16)) < 0.6).astype(np.uint32) * rng.integers(
+            1, 1000, (16, 16)
+        ).astype(np.uint32)
+        whole = img.copy()
+        pass_up_left(whole, 0, 0, 16, 16)
+        tiled = img.copy()
+        for ty in range(12, -1, -4):
+            for tx in range(12, -1, -4):
+                pass_up_left(tiled, tx, ty, 4, 4)
+        assert np.array_equal(whole, tiled)
+
+
+class TestDatasets:
+    def test_shapes_deterministic(self):
+        assert np.array_equal(draw_shapes(64, 1), draw_shapes(64, 1))
+
+    def test_snake_single_component(self):
+        img = draw_snake(32)
+        comps = components_oracle(img)
+        assert len(comps) == 1
+
+    def test_shapes_have_background(self):
+        img = draw_shapes(64, 2)
+        assert (img == 0).any() and (img != 0).any()
+
+
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("variant", ["seq", "tiled", "omp_task"])
+    @pytest.mark.parametrize("dataset", ["shapes", "snake"])
+    def test_labels_match_oracle(self, variant, dataset):
+        r = run(make_config(kernel="cc", variant=variant, dim=48, tile_w=16,
+                            tile_h=16, iterations=64, arg=dataset, seed=4,
+                            nthreads=4))
+        assert r.early_stop > 0, "did not converge"
+        img = r.image
+        comps = components_oracle(img)
+        labels_of = [set(int(img[y, x]) for (y, x) in comp) for comp in comps]
+        # every component uniformly labelled
+        assert all(len(s) == 1 for s in labels_of)
+        # distinct components have distinct labels
+        flat = [next(iter(s)) for s in labels_of]
+        assert len(set(flat)) == len(flat)
+        # each label is the component's maximum initial label -> labels
+        # are positive
+        assert all(v > 0 for v in flat)
+
+    def test_variants_agree_exactly(self):
+        cfg = dict(kernel="cc", dim=48, tile_w=16, tile_h=16, iterations=64,
+                   seed=4, nthreads=4)
+        seq = run(make_config(variant="seq", **cfg))
+        tiled = run(make_config(variant="tiled", **cfg))
+        task = run(make_config(variant="omp_task", **cfg))
+        assert np.array_equal(seq.image, tiled.image)
+        assert np.array_equal(seq.image, task.image)
+        # crucially (paper §III-C): the tiled versions need NO extra iterations
+        assert seq.early_stop == tiled.early_stop == task.early_stop
+
+    def test_snake_needs_many_iterations(self):
+        r = run(make_config(kernel="cc", variant="seq", dim=32, tile_w=16,
+                            tile_h=16, iterations=64, arg="snake"))
+        assert r.early_stop > 2  # information crawls along the snake
+
+    def test_task_wave_structure(self):
+        """Fig. 12: the down-right phase forms an anti-diagonal wave."""
+        r = run(make_config(kernel="cc", variant="omp_task", dim=64, tile_w=16,
+                            tile_h=16, iterations=8, nthreads=16, trace=True,
+                            seed=4))
+        events = [e for e in r.trace.events if e.kind == "task_dr"
+                  and e.iteration == 1]
+        start_of = {}
+        for e in events:
+            start_of[(e.y // 16, e.x // 16)] = e.start
+        for (r_, c), s in start_of.items():
+            for (r2, c2), s2 in start_of.items():
+                if r2 + c2 > r_ + c:
+                    # later anti-diagonals cannot start before this one
+                    assert s2 >= start_of[(r_, c)] or (r2 + c2) == (r_ + c)

@@ -1,0 +1,54 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.sched.costmodel import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    measured_costs,
+    uniform_costs,
+)
+
+
+class TestCostModel:
+    def test_time_of(self):
+        m = CostModel(seconds_per_unit=2.0)
+        assert m.time_of(3.0) == 6.0
+
+    def test_times_of(self):
+        m = CostModel(seconds_per_unit=0.5)
+        assert m.times_of([2, 4]) == [1.0, 2.0]
+
+    def test_scaled_multiplies_everything(self):
+        m = CostModel(1.0, 0.1, 0.2, 0.3).scaled(10.0)
+        assert m.seconds_per_unit == pytest.approx(10.0)
+        assert m.dispatch_overhead == pytest.approx(1.0)
+        assert m.steal_overhead == pytest.approx(2.0)
+        assert m.fork_join_overhead == pytest.approx(3.0)
+
+    def test_zero_overhead_keeps_unit(self):
+        m = CostModel(2.0, 0.1, 0.2, 0.3).zero_overhead()
+        assert m.seconds_per_unit == 2.0
+        assert m.dispatch_overhead == 0.0
+        assert m.steal_overhead == 0.0
+        assert m.fork_join_overhead == 0.0
+
+    def test_default_overheads_are_small_vs_tiles(self):
+        # a 16x16 mandel tile at ~100 iters/pixel dominates dispatch cost
+        tile_work = 16 * 16 * 100
+        m = DEFAULT_COST_MODEL
+        assert m.time_of(tile_work) > 20 * m.dispatch_overhead
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.seconds_per_unit = 1.0  # type: ignore[misc]
+
+
+class TestHelpers:
+    def test_uniform_costs(self):
+        assert uniform_costs(3, 2.5) == [2.5, 2.5, 2.5]
+        assert uniform_costs(0) == []
+
+    def test_measured_costs(self):
+        m = CostModel(seconds_per_unit=2.0)
+        assert measured_costs([1.0, 3.0], m) == [2.0, 6.0]

@@ -1,0 +1,71 @@
+"""Tests for the results CSV database."""
+
+import pytest
+
+from repro.errors import PlotError
+from repro.expt.csvdb import append_rows, filter_rows, read_rows, unique_values
+
+
+class TestAppendRead:
+    def test_roundtrip_types(self, tmp_path):
+        p = tmp_path / "r.csv"
+        append_rows(p, [{"kernel": "mandel", "threads": 4, "time_us": 12.5}])
+        rows = read_rows(p)
+        assert rows == [{"kernel": "mandel", "threads": 4, "time_us": 12.5}]
+        assert isinstance(rows[0]["threads"], int)
+        assert isinstance(rows[0]["time_us"], float)
+
+    def test_append_accumulates(self, tmp_path):
+        p = tmp_path / "r.csv"
+        append_rows(p, [{"a": 1}])
+        append_rows(p, [{"a": 2}])
+        assert [r["a"] for r in read_rows(p)] == [1, 2]
+
+    def test_schema_evolution(self, tmp_path):
+        p = tmp_path / "r.csv"
+        append_rows(p, [{"a": 1}])
+        append_rows(p, [{"a": 2, "b": "new"}])
+        rows = read_rows(p)
+        assert rows[0] == {"a": 1, "b": ""}
+        assert rows[1] == {"a": 2, "b": "new"}
+
+    def test_empty_append_is_noop(self, tmp_path):
+        p = tmp_path / "r.csv"
+        append_rows(p, [])
+        assert not p.exists()
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(PlotError):
+            read_rows(tmp_path / "nope.csv")
+
+    def test_parent_dirs_created(self, tmp_path):
+        p = append_rows(tmp_path / "sub" / "dir" / "r.csv", [{"x": 1}])
+        assert p.exists()
+
+
+class TestFilter:
+    ROWS = [
+        {"kernel": "mandel", "threads": 2, "schedule": "static"},
+        {"kernel": "mandel", "threads": 4, "schedule": "dynamic"},
+        {"kernel": "blur", "threads": 4, "schedule": "static"},
+    ]
+
+    def test_single_value(self):
+        assert len(filter_rows(self.ROWS, kernel="mandel")) == 2
+
+    def test_multiple_criteria(self):
+        out = filter_rows(self.ROWS, kernel="mandel", threads=4)
+        assert len(out) == 1 and out[0]["schedule"] == "dynamic"
+
+    def test_list_of_accepted_values(self):
+        assert len(filter_rows(self.ROWS, threads=[2, 4])) == 3
+
+    def test_none_criteria_ignored(self):
+        assert len(filter_rows(self.ROWS, kernel=None)) == 3
+
+    def test_missing_column_never_matches(self):
+        assert filter_rows(self.ROWS, nope="x") == []
+
+    def test_unique_values_stable_order(self):
+        assert unique_values(self.ROWS, "kernel") == ["mandel", "blur"]
+        assert unique_values(self.ROWS, "threads") == [2, 4]

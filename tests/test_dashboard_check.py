@@ -1,0 +1,105 @@
+"""Tests for the dashboard SVG views and the --check CLI mode."""
+
+import pytest
+
+from repro.cli import main as easypap_main
+from repro.core.engine import run
+from repro.view.dashboard import animated_tiling_svg, dashboard_svg
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def monitored_run():
+    return run(make_config(kernel="mandel", variant="omp_tiled", dim=64,
+                           tile_w=16, tile_h=16, iterations=3, nthreads=4,
+                           schedule="nonmonotonic:dynamic", monitoring=True))
+
+
+class TestDashboard:
+    def test_contains_both_windows(self, monitored_run):
+        svg = dashboard_svg(monitored_run.monitor).tostring()
+        assert "Tiling window" in svg
+        assert "Heat map" in svg
+        assert "Activity Monitor" in svg
+        assert "cumulated idleness" in svg
+        # 16 tiles in each of the two maps, plus bars
+        assert svg.count("<rect") >= 2 * 16 + 4
+
+    def test_iteration_selectable(self, monitored_run):
+        first = dashboard_svg(monitored_run.monitor, 0).tostring()
+        assert "iteration 1" in first
+        last = dashboard_svg(monitored_run.monitor, -1).tostring()
+        assert "iteration 3" in last
+
+    def test_stolen_tiles_marked(self, monitored_run):
+        rec = monitored_run.monitor.records[-1]
+        svg = dashboard_svg(monitored_run.monitor).tostring()
+        assert svg.count("<circle") == int(rec.stolen.sum())
+
+    def test_empty_monitor_rejected(self):
+        from repro.monitor.activity import Monitor
+
+        with pytest.raises(ValueError):
+            dashboard_svg(Monitor(2))
+
+
+class TestAnimatedTiling:
+    def test_one_frame_group_per_iteration(self, monitored_run):
+        svg = animated_tiling_svg(monitored_run.monitor).tostring()
+        assert svg.count("<animate ") == 3
+        assert svg.count('repeatCount="indefinite"') == 3
+        assert svg.count("<rect") >= 3 * 16
+
+    def test_cli_writes_both(self, tmp_path, capsys):
+        dash = tmp_path / "dash.svg"
+        anim = tmp_path / "anim.svg"
+        rc = easypap_main(["--kernel", "mandel", "--variant", "omp_tiled",
+                           "--size", "64", "--tile-size", "16",
+                           "--iterations", "2", "--monitoring",
+                           "--dashboard", str(dash), "--anim", str(anim)])
+        assert rc == 0
+        assert dash.exists() and anim.exists()
+
+
+class TestCheckMode:
+    def test_check_passes_for_correct_variant(self, capsys):
+        rc = easypap_main(["--kernel", "mandel", "--variant", "omp_tiled",
+                           "--size", "64", "--tile-size", "16",
+                           "--iterations", "2", "--check"])
+        assert rc == 0
+        assert "check: OK" in capsys.readouterr().out
+
+    def test_check_skipped_for_seq(self, capsys):
+        rc = easypap_main(["--kernel", "mandel", "--variant", "seq",
+                           "--size", "64", "--iterations", "1", "--check"])
+        assert rc == 0
+        assert "check" not in capsys.readouterr().out
+
+    def test_check_fails_for_buggy_variant(self, capsys):
+        """Register a deliberately wrong variant and watch --check catch it."""
+        from repro.core.kernel import Kernel, _KERNELS, register_kernel, variant
+
+        @register_kernel
+        class BuggyKernel(Kernel):
+            name = "buggy_check_probe"
+
+            @variant("seq")
+            def compute_seq(self, ctx, nb_iter):
+                for _ in ctx.iterations(nb_iter):
+                    ctx.img.cur[:] = 1
+                return 0
+
+            @variant("omp_tiled")
+            def compute_par(self, ctx, nb_iter):
+                for _ in ctx.iterations(nb_iter):
+                    ctx.img.cur[:] = 2  # wrong!
+                return 0
+
+        try:
+            rc = easypap_main(["--kernel", "buggy_check_probe", "--variant",
+                               "omp_tiled", "--size", "16", "--tile-size",
+                               "16", "--iterations", "1", "--check"])
+            assert rc == 1
+            assert "check: FAILED" in capsys.readouterr().err
+        finally:
+            del _KERNELS["buggy_check_probe"]

@@ -1,0 +1,114 @@
+"""Tests for the easyview and easyplot CLIs."""
+
+import pytest
+
+from repro.cli import main as easypap_main
+from repro.easyplot_cli import main as easyplot_main
+from repro.easyview_cli import main as easyview_main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    p = tmp_path / "run.evt"
+    easypap_main(["--kernel", "mandel", "--variant", "omp_tiled", "--size",
+                  "64", "--tile-size", "16", "--iterations", "3", "--trace",
+                  "--trace-file", str(p)])
+    return p
+
+
+@pytest.fixture
+def trace_pair(tmp_path):
+    a = tmp_path / "basic.evt"
+    b = tmp_path / "opt.evt"
+    for path, variant in [(a, "omp_tiled"), (b, "omp_tiled_opt")]:
+        easypap_main(["--kernel", "blur", "--variant", variant, "--size", "64",
+                      "--tile-size", "8", "--iterations", "2", "--trace",
+                      "--trace-file", str(path)])
+    return a, b
+
+
+class TestEasyview:
+    def test_single_trace_summary(self, trace_file, capsys):
+        assert easyview_main([str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel=mandel" in out
+        assert "Gantt chart" in out
+        assert "CPU  0" in out
+        assert "locality score" in out
+
+    def test_iteration_range(self, trace_file, capsys):
+        assert easyview_main([str(trace_file), "-r", "2:2"]) == 0
+        assert "Gantt" in capsys.readouterr().out
+
+    def test_bad_range(self, trace_file, capsys):
+        assert easyview_main([str(trace_file), "-r", "nope"]) == 2
+
+    def test_svg_output(self, trace_file, tmp_path, capsys):
+        svg = tmp_path / "g.svg"
+        assert easyview_main([str(trace_file), "--svg", str(svg)]) == 0
+        assert svg.exists()
+
+    def test_compare_mode(self, trace_pair, capsys):
+        a, b = trace_pair
+        assert easyview_main([str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "overall speedup" in out
+        assert "before:" in out and "after:" in out
+
+    def test_compare_svg(self, trace_pair, tmp_path):
+        a, b = trace_pair
+        svg = tmp_path / "cmp.svg"
+        assert easyview_main([str(a), str(b), "--svg", str(svg)]) == 0
+        assert svg.exists()
+
+    def test_missing_trace(self, tmp_path, capsys):
+        assert easyview_main([str(tmp_path / "none.evt")]) == 1
+        assert "easyview:" in capsys.readouterr().err
+
+    def test_three_traces_rejected(self, trace_file, capsys):
+        assert easyview_main([str(trace_file)] * 3) == 2
+
+
+class TestEasyplotCli:
+    @pytest.fixture
+    def csv(self, tmp_path):
+        from repro.expt.exptools import execute
+
+        path = tmp_path / "perf.csv"
+        execute(
+            "easypap",
+            {"OMP_NUM_THREADS=": [2, 4], "OMP_SCHEDULE=": ["static", "dynamic"]},
+            {"--kernel ": ["mandel"], "--variant ": ["omp_tiled"],
+             "--size ": [64], "--grain ": [16], "--iterations ": [2]},
+            runs=1, csv_path=path, reuse_work=True,
+        )
+        return path
+
+    def test_table_output(self, csv, capsys):
+        assert easyplot_main(["-i", str(csv), "--kernel", "mandel"]) == 0
+        out = capsys.readouterr().out
+        assert "Parameters :" in out
+        assert "schedule=dynamic" in out
+
+    def test_speedup_with_ref(self, csv, capsys):
+        rc = easyplot_main(["-i", str(csv), "--speedup", "--ref-time", "10000"])
+        assert rc == 0
+        assert "refTime=10000" in capsys.readouterr().out
+
+    def test_col_grain_maps_to_tile_w(self, csv, capsys):
+        assert easyplot_main(["-i", str(csv), "--col", "grain"]) == 0
+        assert "tile_w = 16" in capsys.readouterr().out
+
+    def test_svg_output(self, csv, tmp_path, capsys):
+        out = tmp_path / "plot.svg"
+        assert easyplot_main(["-i", str(csv), "-o", str(out)]) == 0
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_ascii_chart(self, csv, capsys):
+        assert easyplot_main(["-i", str(csv), "--chart"]) == 0
+        assert "ymax=" in capsys.readouterr().out
+
+    def test_missing_csv(self, tmp_path, capsys):
+        assert easyplot_main(["-i", str(tmp_path / "none.csv")]) == 1
+        assert "easyplot:" in capsys.readouterr().err

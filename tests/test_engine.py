@@ -1,0 +1,136 @@
+"""Tests for the run engine (lifecycle, results, performance output)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.core.kernel import Kernel, variant
+from repro.errors import UnknownVariantError
+from tests.conftest import make_config
+
+
+class ProbeKernel(Kernel):
+    """Records lifecycle calls (not registered: passed explicitly)."""
+
+    name = "probe"
+
+    def __init__(self):
+        self.calls = []
+
+    def init(self, ctx):
+        self.calls.append("init")
+        ctx.data["inited"] = True
+
+    def draw(self, ctx):
+        self.calls.append("draw")
+
+    def refresh_img(self, ctx):
+        self.calls.append("refresh")
+
+    def finalize(self, ctx):
+        self.calls.append("finalize")
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter):
+        for _ in ctx.iterations(nb_iter):
+            self.calls.append("iter")
+            ctx.sequential_for(lambda t: 1.0)
+        return 0
+
+    @variant("stops_at_2")
+    def compute_stopping(self, ctx, nb_iter):
+        for it in ctx.iterations(nb_iter):
+            ctx.sequential_for(lambda t: 1.0)
+            if it == 2:
+                return it
+        return 0
+
+
+class TestLifecycle:
+    def test_order(self):
+        k = ProbeKernel()
+        run(make_config(kernel="probe", variant="seq", iterations=3), kernel=k)
+        assert k.calls == ["init", "draw", "iter", "iter", "iter", "refresh", "finalize"]
+
+    def test_completed_iterations(self):
+        k = ProbeKernel()
+        r = run(make_config(kernel="probe", variant="seq", iterations=5), kernel=k)
+        assert r.completed_iterations == 5
+        assert r.early_stop == 0
+
+    def test_early_stop(self):
+        k = ProbeKernel()
+        r = run(make_config(kernel="probe", variant="stops_at_2", iterations=10), kernel=k)
+        assert r.early_stop == 2
+        assert r.completed_iterations == 2
+
+    def test_unknown_variant(self):
+        with pytest.raises(UnknownVariantError):
+            run(make_config(kernel="probe", variant="nope"), kernel=ProbeKernel())
+
+
+class TestResult:
+    def test_image_snapshot_is_independent(self):
+        r = run(make_config(kernel="invert", variant="seq", iterations=1))
+        assert isinstance(r.image, np.ndarray)
+        assert r.image.shape == (64, 64)
+        # snapshot survives context mutation
+        r.context.img.cur[:] = 0
+        assert r.image.any()
+
+    def test_summary_format(self):
+        r = run(make_config(kernel="none", variant="seq", iterations=7))
+        assert r.summary().startswith("7 iterations completed in ")
+        assert r.summary().endswith(("ms", "us"))
+
+    def test_virtual_time_positive_and_monotone_in_iterations(self):
+        r1 = run(make_config(kernel="mandel", variant="omp_tiled", iterations=1))
+        r3 = run(make_config(kernel="mandel", variant="omp_tiled", iterations=3))
+        assert 0 < r1.virtual_time < r3.virtual_time
+
+    def test_elapsed_uses_virtual_for_sim(self):
+        r = run(make_config(kernel="none", variant="seq"))
+        assert r.elapsed == r.virtual_time
+
+    def test_elapsed_uses_wall_for_threads(self):
+        r = run(make_config(kernel="none", variant="omp_tiled", backend="threads"))
+        assert r.elapsed == r.wall_time
+
+    def test_speedup_vs(self):
+        ref = run(make_config(kernel="mandel", variant="omp_tiled", nthreads=1))
+        par = run(make_config(kernel="mandel", variant="omp_tiled", nthreads=4))
+        s = par.speedup_vs(ref)
+        assert s > 1.5  # mandel parallelizes well under dynamic
+
+    def test_monitor_present_only_when_requested(self):
+        assert run(make_config(monitoring=False)).monitor is None
+        assert run(make_config(monitoring=True)).monitor is not None
+
+    def test_trace_present_only_when_requested(self):
+        assert run(make_config(trace=False)).trace is None
+        tr = run(make_config(trace=True)).trace
+        assert tr is not None and len(tr) > 0
+        assert tr.meta.kernel == "mandel"
+
+    def test_frame_hook_called_each_iteration(self):
+        seen = []
+        run(
+            make_config(kernel="none", variant="seq", iterations=4),
+            frame_hook=lambda ctx, it: seen.append(it),
+        )
+        assert seen == [1, 2, 3, 4]
+
+
+class TestDeterminism:
+    def test_same_config_same_virtual_time(self):
+        a = run(make_config(kernel="mandel", variant="omp_tiled", schedule="nonmonotonic:dynamic"))
+        b = run(make_config(kernel="mandel", variant="omp_tiled", schedule="nonmonotonic:dynamic"))
+        assert a.virtual_time == b.virtual_time
+        assert np.array_equal(a.image, b.image)
+
+    def test_seed_changes_data_kernels(self):
+        a = run(make_config(kernel="blur", variant="tiled", dim=32, tile_w=8,
+                            tile_h=8, iterations=1, seed=1))
+        b = run(make_config(kernel="blur", variant="tiled", dim=32, tile_w=8,
+                            tile_h=8, iterations=1, seed=2))
+        assert not np.array_equal(a.image, b.image)

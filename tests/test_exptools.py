@@ -1,0 +1,100 @@
+"""Tests for expTools sweeps (paper Fig. 5 workflow)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.expt.csvdb import read_rows
+from repro.expt.exptools import execute, sweep_configs
+
+
+class TestSweepConfigs:
+    def test_cartesian_product(self):
+        configs = sweep_configs(
+            {"OMP_NUM_THREADS=": [2, 4], "OMP_SCHEDULE=": ["static", "dynamic"]},
+            {"--kernel ": ["mandel"], "--size ": [64], "--grain ": [16, 32]},
+        )
+        assert len(configs) == 2 * 2 * 2
+        threads = {c.nthreads for c, _ in configs}
+        scheds = {c.schedule for c, _ in configs}
+        grains = {c.tile_w for c, _ in configs}
+        assert threads == {2, 4} and grains == {16, 32}
+        assert scheds == {"static", "dynamic"}
+
+    def test_paper_style_keys_with_trailing_space(self):
+        configs = sweep_configs(
+            {"OMP_NUM_THREADS=": [3]},
+            {"--kernel ": ["blur"], "--variant ": ["omp_tiled"], "--iterations ": [2]},
+        )
+        (cfg, env), = configs
+        assert cfg.kernel == "blur" and cfg.variant == "omp_tiled"
+        assert cfg.iterations == 2 and cfg.nthreads == 3
+        assert env == {"OMP_NUM_THREADS": "3"}
+
+    def test_empty_specs_yield_default_config(self):
+        configs = sweep_configs({}, {})
+        assert len(configs) == 1
+
+
+class TestExecute:
+    def _sweep(self, tmp_path, **kw):
+        return execute(
+            "easypap",
+            {"OMP_NUM_THREADS=": [2, 4]},
+            {
+                "--kernel ": ["mandel"],
+                "--variant ": ["omp_tiled"],
+                "--size ": [64],
+                "--grain ": [16],
+                "--iterations ": [2],
+            },
+            runs=2,
+            csv_path=tmp_path / "perf.csv",
+            **kw,
+        )
+
+    def test_row_count_and_columns(self, tmp_path):
+        rows = self._sweep(tmp_path)
+        assert len(rows) == 4  # 2 thread counts x 2 runs
+        for row in rows:
+            assert row["kernel"] == "mandel"
+            assert row["time_us"] > 0
+            assert row["run"] in (0, 1)
+            assert row["machine"] == "virtual"
+
+    def test_csv_written(self, tmp_path):
+        self._sweep(tmp_path)
+        rows = read_rows(tmp_path / "perf.csv")
+        assert len(rows) == 4
+
+    def test_replay_matches_full_runs(self, tmp_path):
+        """reuse_work=True must give exactly the same virtual times."""
+        full = self._sweep(tmp_path)
+        fast = execute(
+            "easypap",
+            {"OMP_NUM_THREADS=": [2, 4]},
+            {
+                "--kernel ": ["mandel"],
+                "--variant ": ["omp_tiled"],
+                "--size ": [64],
+                "--grain ": [16],
+                "--iterations ": [2],
+            },
+            runs=1,
+            csv_path=tmp_path / "perf2.csv",
+            reuse_work=True,
+        )
+        full_times = {(r["threads"]): r["time_us"] for r in full if r["run"] == 0}
+        fast_times = {(r["threads"]): r["time_us"] for r in fast}
+        assert fast_times == pytest.approx(full_times)
+
+    def test_runs_are_deterministic(self, tmp_path):
+        rows = self._sweep(tmp_path)
+        by_threads = {}
+        for r in rows:
+            by_threads.setdefault(r["threads"], set()).add(r["time_us"])
+        # virtual time: identical across repetitions
+        assert all(len(v) == 1 for v in by_threads.values())
+
+    def test_unknown_program_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            execute("make", {}, {}, csv_path=tmp_path / "x.csv")

@@ -1,0 +1,104 @@
+"""Tests for the grading harness."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.kernel import Kernel, _KERNELS, register_kernel, variant
+from repro.errors import UnknownVariantError
+from repro.expt.grading import grade_variant
+
+
+@pytest.fixture
+def buggy_kernel():
+    """A kernel whose parallel variant is wrong only on edge tiles and
+    does no early parallel work (slow)."""
+
+    @register_kernel
+    class GradeProbe(Kernel):
+        name = "grade_probe"
+
+        def do_tile(self, ctx, t):
+            x, y, w, h = t.as_rect()
+            ctx.img.cur_view(y, x, h, w)[:] += 1
+            return t.area * 50.0  # heavy enough that overheads don't dominate
+
+        @variant("seq")
+        def compute_seq(self, ctx, nb_iter):
+            for _ in ctx.iterations(nb_iter):
+                ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            return 0
+
+        @variant("good")
+        def compute_good(self, ctx, nb_iter):
+            for _ in ctx.iterations(nb_iter):
+                ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            return 0
+
+        @variant("wrong")
+        def compute_wrong(self, ctx, nb_iter):
+            for _ in ctx.iterations(nb_iter):
+                ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+                ctx.img.cur[0, 0] += 1  # corrupt one pixel
+            return 0
+
+        @variant("serial")
+        def compute_serial(self, ctx, nb_iter):
+            # "parallel" variant that never uses the team
+            for _ in ctx.iterations(nb_iter):
+                ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            return 0
+
+    yield GradeProbe
+    del _KERNELS["grade_probe"]
+
+
+class TestGradeVariant:
+    def test_good_variant_passes_everything(self, buggy_kernel):
+        report = grade_variant("grade_probe", "good", dims=(16, 24, 32),
+                               tile=8, threads=(2, 4),
+                               min_speedup_per_thread=0.8)
+        assert report.all_passed, report.summary()
+        assert report.speedups[4] > 3.5
+
+    def test_wrong_variant_fails_correctness(self, buggy_kernel):
+        report = grade_variant("grade_probe", "wrong", dims=(16, 24, 32),
+                               tile=8, threads=(2,))
+        failing = [c for c in report.checks if not c.passed]
+        assert any("correct" in c.name for c in failing)
+        assert any("differing pixels" in c.detail for c in failing)
+
+    def test_serial_variant_fails_speedup(self, buggy_kernel):
+        report = grade_variant("grade_probe", "serial", dims=(16, 24, 32),
+                               tile=8, threads=(4,))
+        speed_checks = [c for c in report.checks if "speedup" in c.name]
+        assert speed_checks and not any(c.passed for c in speed_checks)
+        # but it is *correct*
+        assert all(c.passed for c in report.checks if "correct" in c.name)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(UnknownVariantError):
+            grade_variant("mandel", "nope")
+
+    def test_report_summary_format(self, buggy_kernel):
+        report = grade_variant("grade_probe", "good", dims=(16, 24, 32),
+                               tile=8, threads=(2,))
+        text = report.summary()
+        assert "grading grade_probe/good" in text
+        assert "[PASS]" in text
+        assert "speedups:" in text
+
+
+class TestGradeCli:
+    def test_cli_pass(self, capsys):
+        sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+        try:
+            import grade
+
+            rc = grade.main(["-k", "spin", "-v", "omp_tiled", "--tile", "8"])
+        finally:
+            sys.path.pop(0)
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "checks passed" in out

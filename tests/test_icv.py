@@ -1,0 +1,57 @@
+"""Tests for ICV resolution (OMP_NUM_THREADS / OMP_SCHEDULE)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.omp.icv import DEFAULT_NUM_THREADS, resolve_icvs
+from repro.sched.policies import DynamicSchedule, GuidedSchedule, StaticSchedule
+
+
+class TestResolve:
+    def test_defaults_with_empty_env(self):
+        icvs = resolve_icvs({})
+        assert icvs.num_threads == DEFAULT_NUM_THREADS
+        assert isinstance(icvs.schedule, DynamicSchedule)
+
+    def test_env_values(self):
+        icvs = resolve_icvs({"OMP_NUM_THREADS": "7", "OMP_SCHEDULE": "guided,2"})
+        assert icvs.num_threads == 7
+        assert isinstance(icvs.schedule, GuidedSchedule)
+        assert icvs.schedule.chunk == 2
+
+    def test_explicit_args_override_env(self):
+        icvs = resolve_icvs(
+            {"OMP_NUM_THREADS": "7", "OMP_SCHEDULE": "guided"},
+            num_threads=3,
+            schedule="static",
+        )
+        assert icvs.num_threads == 3
+        assert isinstance(icvs.schedule, StaticSchedule)
+
+    def test_policy_object_accepted(self):
+        icvs = resolve_icvs({}, schedule=StaticSchedule(4))
+        assert icvs.schedule.chunk == 4
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ConfigError):
+            resolve_icvs({"OMP_NUM_THREADS": "zero"})
+        with pytest.raises(ConfigError):
+            resolve_icvs({}, num_threads=0)
+
+    def test_spec_roundtrip(self):
+        icvs = resolve_icvs({}, num_threads=6, schedule="dynamic,2")
+        spec = icvs.spec()
+        again = resolve_icvs(spec)
+        assert again.num_threads == 6
+        assert again.schedule.spec() == "dynamic,2"
+
+    def test_process_environment_used_when_env_none(self, monkeypatch):
+        monkeypatch.setenv("OMP_NUM_THREADS", "9")
+        monkeypatch.setenv("OMP_SCHEDULE", "static,2")
+        icvs = resolve_icvs(None)
+        assert icvs.num_threads == 9
+        assert icvs.schedule.spec() == "static,2"
+
+    def test_default_schedule_param(self):
+        icvs = resolve_icvs({}, default_schedule="guided")
+        assert isinstance(icvs.schedule, GuidedSchedule)

@@ -1,0 +1,106 @@
+"""Tests for repro.core.image (double-buffered images, pixel packing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.image import (
+    Img2D,
+    alpha_of,
+    blue_of,
+    green_of,
+    red_of,
+    rgb,
+    rgba,
+)
+from repro.errors import ConfigError
+
+
+class TestPacking:
+    def test_rgba_packs_channels_in_order(self):
+        assert rgba(0x12, 0x34, 0x56, 0x78) == 0x12345678
+
+    def test_rgb_is_opaque(self):
+        assert rgb(1, 2, 3) & 0xFF == 0xFF
+
+    def test_channel_extractors_roundtrip(self):
+        p = rgba(200, 100, 50, 25)
+        assert red_of(p) == 200
+        assert green_of(p) == 100
+        assert blue_of(p) == 50
+        assert alpha_of(p) == 25
+
+    def test_channels_are_masked_to_bytes(self):
+        assert rgba(0x1FF, 0, 0, 0) == rgba(0xFF, 0, 0, 0)
+
+
+class TestImg2D:
+    def test_dimensions_and_dtype(self):
+        img = Img2D(16)
+        assert img.cur.shape == (16, 16)
+        assert img.cur.dtype == np.uint32
+        assert img.nxt.shape == (16, 16)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ConfigError):
+            Img2D(0)
+        with pytest.raises(ConfigError):
+            Img2D(-3)
+
+    def test_fill_value(self):
+        img = Img2D(8, fill=rgb(9, 9, 9))
+        assert int(img.cur[0, 0]) == rgb(9, 9, 9)
+
+    def test_scalar_accessors(self):
+        img = Img2D(8)
+        img.set_cur(2, 3, 0xDEADBEEF)
+        assert img.cur_img(2, 3) == 0xDEADBEEF
+        img.set_next(4, 5, 0x01020304)
+        assert img.next_img(4, 5) == 0x01020304
+
+    def test_swap_exchanges_buffers(self):
+        img = Img2D(4)
+        img.set_cur(0, 0, 111)
+        img.set_next(0, 0, 222)
+        img.swap()
+        assert img.cur_img(0, 0) == 222
+        assert img.next_img(0, 0) == 111
+        assert img.swaps == 1
+
+    def test_swap_is_o1_no_copy(self):
+        img = Img2D(4)
+        cur_before = img.cur
+        img.swap()
+        assert img.nxt is cur_before
+
+    def test_views_are_writable(self):
+        img = Img2D(8)
+        v = img.cur_view(2, 2, 3, 3)
+        v[:] = 7
+        assert img.cur_img(3, 3) == 7
+        assert img.cur_img(0, 0) == 0
+
+    def test_view_bounds_checked(self):
+        img = Img2D(8)
+        with pytest.raises(ConfigError):
+            img.cur_view(6, 6, 4, 4)
+        with pytest.raises(ConfigError):
+            img.next_view(-1, 0, 2, 2)
+
+    def test_load_shape_checked(self):
+        img = Img2D(8)
+        with pytest.raises(ConfigError):
+            img.load(np.zeros((4, 4)))
+
+    def test_load_and_copy(self):
+        img = Img2D(4)
+        data = np.arange(16, dtype=np.uint32).reshape(4, 4)
+        img.load(data)
+        snap = img.copy_cur()
+        assert np.array_equal(snap, data)
+        img.set_cur(0, 0, 999)
+        assert snap[0, 0] == 0  # snapshot is independent
+
+    def test_channels_split(self):
+        img = Img2D(2, fill=rgba(10, 20, 30, 40))
+        r, g, b, a = img.channels()
+        assert r[0, 0] == 10 and g[0, 0] == 20 and b[0, 0] == 30 and a[0, 0] == 40

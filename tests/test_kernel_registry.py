@@ -1,0 +1,104 @@
+"""Tests for the kernel/variant registry."""
+
+import pytest
+
+from repro.core.kernel import Kernel, get_kernel, list_kernels, register_kernel, variant
+from repro.errors import KernelError, UnknownKernelError, UnknownVariantError
+
+
+class TestRegistry:
+    def test_builtin_kernels_registered(self):
+        names = list_kernels()
+        for expected in ["mandel", "blur", "life", "cc", "invert", "transpose",
+                         "pixelize", "sandpile", "none"]:
+            assert expected in names
+
+    def test_unknown_kernel(self):
+        with pytest.raises(UnknownKernelError) as ei:
+            get_kernel("nope")
+        assert "mandel" in str(ei.value)  # helpful suggestion list
+
+    def test_unknown_variant(self):
+        k = get_kernel("mandel")
+        with pytest.raises(UnknownVariantError) as ei:
+            k.compute_fn("gpu_magic")
+        assert "omp_tiled" in str(ei.value)
+
+    def test_variant_lookup_is_bound(self):
+        k = get_kernel("mandel")
+        fn = k.compute_fn("seq")
+        assert callable(fn)
+        assert getattr(fn, "__self__", None) is k
+
+    def test_fresh_instance_per_get(self):
+        assert get_kernel("mandel") is not get_kernel("mandel")
+
+    def test_variant_names_sorted(self):
+        k = get_kernel("blur")
+        names = k.variant_names()
+        assert names == sorted(names)
+        assert "omp_tiled_opt" in names
+
+
+class TestRegistration:
+    def test_variant_decorator_collects(self):
+        class MyKernel(Kernel):
+            name = "my_test_kernel_x"
+
+            @variant("v1")
+            def compute_v1(self, ctx, n):
+                return 0
+
+        assert "v1" in MyKernel.variants
+
+    def test_inherited_variants(self):
+        class Base(Kernel):
+            name = "base_x"
+
+            @variant("common")
+            def compute_common(self, ctx, n):
+                return 0
+
+        class Child(Base):
+            name = "child_x"
+
+            @variant("extra")
+            def compute_extra(self, ctx, n):
+                return 0
+
+        assert set(Child.variants) >= {"common", "extra"}
+
+    def test_register_requires_name(self):
+        class Nameless(Kernel):
+            pass
+
+        with pytest.raises(KernelError):
+            register_kernel(Nameless)
+
+    def test_register_requires_kernel_subclass(self):
+        with pytest.raises(KernelError):
+            register_kernel(object)  # type: ignore[arg-type]
+
+    def test_duplicate_name_rejected(self):
+        class Dup(Kernel):
+            name = "mandel"
+
+        with pytest.raises(KernelError):
+            register_kernel(Dup)
+
+    def test_override_in_subclass_wins(self):
+        class A(Kernel):
+            name = "a_x"
+
+            @variant("v")
+            def compute_v(self, ctx, n):
+                return 1
+
+        class B(A):
+            name = "b_x"
+
+            @variant("v")
+            def compute_v2(self, ctx, n):
+                return 2
+
+        assert B.variants["v"] is B.__dict__["compute_v2"]

@@ -1,0 +1,60 @@
+"""Tests for domain decomposition helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MpiError
+from repro.mpi.decomposition import band_of, bands, block_of, grid_shape
+
+
+class TestBands:
+    def test_even_split(self):
+        assert bands(4, 16) == [(0, 4), (4, 4), (8, 4), (12, 4)]
+
+    def test_uneven_split_extra_rows_first(self):
+        assert bands(3, 10) == [(0, 4), (4, 3), (7, 3)]
+
+    def test_bad_args(self):
+        with pytest.raises(MpiError):
+            band_of(2, 2, 16)
+        with pytest.raises(MpiError):
+            band_of(0, 0, 16)
+        with pytest.raises(MpiError):
+            band_of(0, 8, 4)  # more ranks than rows
+
+
+class TestGridShape:
+    @pytest.mark.parametrize("size,expected", [(1, (1, 1)), (2, (2, 1)),
+                                               (4, (2, 2)), (6, (3, 2)),
+                                               (12, (4, 3)), (7, (7, 1))])
+    def test_most_square(self, size, expected):
+        assert grid_shape(size) == expected
+
+    def test_block_of_covers(self):
+        blocks = [block_of(r, 4, 8) for r in range(4)]
+        covered = set()
+        for y0, x0, h, w in blocks:
+            for y in range(y0, y0 + h):
+                for x in range(x0, x0 + w):
+                    covered.add((y, x))
+        assert len(covered) == 64
+
+
+@settings(max_examples=80, deadline=None)
+@given(size=st.integers(1, 12), dim=st.integers(1, 256))
+def test_bands_partition(size, dim):
+    """Property: bands exactly partition [0, dim) in rank order."""
+    if dim < size:
+        with pytest.raises(MpiError):
+            bands(size, dim)
+        return
+    bs = bands(size, dim)
+    pos = 0
+    for y0, h in bs:
+        assert y0 == pos
+        assert h >= 1
+        pos += h
+    assert pos == dim
+    heights = [h for _, h in bs]
+    assert max(heights) - min(heights) <= 1

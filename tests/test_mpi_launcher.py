@@ -1,0 +1,70 @@
+"""Tests for the mpirun launcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.errors import ConfigError
+from repro.mpi.launcher import parse_mpirun_args
+from tests.conftest import make_config
+
+
+class TestParseMpirun:
+    @pytest.mark.parametrize("spec,np_", [("-np 2", 2), ("-n 4", 4),
+                                          ("--oversubscribe -np 3", 3),
+                                          ("  -np   8  ", 8)])
+    def test_valid(self, spec, np_):
+        assert parse_mpirun_args(spec) == np_
+
+    @pytest.mark.parametrize("spec", ["", "-np", "-np zero", "-np 0"])
+    def test_invalid(self, spec):
+        with pytest.raises(ConfigError):
+            parse_mpirun_args(spec)
+
+
+class TestLauncher:
+    def _cfg(self, **kw):
+        base = dict(kernel="life", variant="mpi_omp", dim=64, tile_w=16,
+                    tile_h=16, iterations=4, arg="gun", mpi_np=2)
+        base.update(kw)
+        return make_config(**base)
+
+    def test_returns_master_with_rank_results(self):
+        r = run(self._cfg())
+        assert len(r.rank_results) == 2
+        assert r.config.mpi_np == 2
+
+    def test_virtual_time_is_slowest_rank(self):
+        r = run(self._cfg())
+        assert r.virtual_time == max(rr.virtual_time for rr in r.rank_results)
+
+    def test_monitoring_master_only_by_default(self):
+        r = run(self._cfg(monitoring=True))
+        assert r.rank_results[0].monitor is not None
+        assert r.rank_results[1].monitor is None
+
+    def test_debug_m_monitors_every_rank(self):
+        r = run(self._cfg(monitoring=True, debug="M"))
+        assert all(rr.monitor is not None for rr in r.rank_results)
+
+    def test_traces_labelled_per_rank(self):
+        r = run(self._cfg(trace=True, debug="M"))
+        labels = [rr.trace.meta.label for rr in r.rank_results]
+        assert labels == ["cur.0", "cur.1"]
+
+    def test_master_composes_full_image(self):
+        ref = run(make_config(kernel="life", variant="seq", dim=64, tile_w=16,
+                              tile_h=16, iterations=4, arg="gun"))
+        r = run(self._cfg())
+        assert np.array_equal(r.image, ref.image)
+
+    def test_np1_works(self):
+        r = run(self._cfg(mpi_np=1))
+        assert len(r.rank_results) == 1
+
+    def test_failure_in_kernel_surfaces(self):
+        from repro.errors import MpiError
+
+        # band misaligned with tile rows -> per-rank ConfigError wrapped
+        with pytest.raises(MpiError):
+            run(self._cfg(mpi_np=3, dim=64))

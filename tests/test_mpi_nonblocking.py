@@ -1,0 +1,122 @@
+"""Tests for non-blocking MPI (isend/irecv/Request) and heat/mpi_2d."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.mpi.comm import run_world
+from tests.conftest import make_config
+
+
+class TestRequests:
+    def test_isend_completes_immediately(self):
+        def main(comm, rank):
+            if rank == 0:
+                req = comm.isend({"x": 1}, dest=1)
+                done, payload = req.test()
+                assert done and payload == {"x": 1}
+                return None
+            return comm.recv(source=0)
+
+        results = run_world(2, main)
+        assert results[1] == {"x": 1}
+
+    def test_irecv_wait(self):
+        def main(comm, rank):
+            if rank == 0:
+                req = comm.irecv(source=1, tag=5)
+                comm.send("go", dest=1)
+                return req.wait()
+            comm.recv(source=0)
+            comm.send("answer", dest=0, tag=5)
+            return None
+
+        results = run_world(2, main)
+        assert results[0] == "answer"
+
+    def test_irecv_test_polls(self):
+        def main(comm, rank):
+            if rank == 0:
+                req = comm.irecv(source=1)
+                done, _ = req.test()
+                # may or may not have arrived yet; eventually it must
+                deadline = time.time() + 5.0
+                while not done and time.time() < deadline:
+                    done, payload = req.test()
+                assert done
+                return req.wait()  # idempotent once done
+            comm.send(42, dest=0)
+            return None
+
+        results = run_world(2, main)
+        assert results[0] == 42
+
+    def test_posted_receives_match_out_of_order_sends(self):
+        def main(comm, rank):
+            if rank == 0:
+                ra = comm.irecv(source=1, tag=1)
+                rb = comm.irecv(source=1, tag=2)
+                return (rb.wait(), ra.wait())
+            comm.send("two", dest=0, tag=2)
+            comm.send("one", dest=0, tag=1)
+            return None
+
+        results = run_world(2, main)
+        assert results[0] == ("two", "one")
+
+    def test_halo_exchange_idiom(self):
+        """The canonical pattern: post all receives, send, wait."""
+
+        def main(comm, rank):
+            left = (rank - 1) % comm.size
+            right = (rank + 1) % comm.size
+            r_left = comm.irecv(source=left, tag=0)
+            r_right = comm.irecv(source=right, tag=1)
+            comm.isend(f"from{rank}-r", dest=right, tag=0)
+            comm.isend(f"from{rank}-l", dest=left, tag=1)
+            return (r_left.wait(), r_right.wait())
+
+        results = run_world(4, main)
+        assert results[0] == ("from3-r", "from1-l")
+
+
+class TestHeatMpi2D:
+    @pytest.mark.parametrize("np_", [2, 4])
+    def test_matches_shared_memory(self, np_):
+        cfg = dict(kernel="heat", dim=32, tile_w=8, tile_h=8, iterations=30,
+                   arg="corners")
+        ref = run(make_config(variant="omp_tiled", **cfg))
+        mpi = run(make_config(variant="mpi_2d", mpi_np=np_, **cfg))
+        assert mpi.rank_results[0].context is not None
+        ref_t = ref.context.data["temp"]
+        mpi_t = mpi.rank_results[0].context.data["temp"]
+        assert np.allclose(ref_t, mpi_t)
+
+    def test_same_convergence_iteration(self):
+        cfg = dict(kernel="heat", dim=16, tile_w=8, tile_h=8,
+                   iterations=10000, arg="bar")
+        ref = run(make_config(variant="seq", **cfg))
+        mpi = run(make_config(variant="mpi_2d", mpi_np=4, **cfg))
+        assert ref.early_stop == mpi.early_stop > 0
+
+    def test_2d_process_grid_used(self):
+        r = run(make_config(kernel="heat", variant="mpi_2d", mpi_np=4,
+                            dim=32, tile_w=8, tile_h=8, iterations=10,
+                            monitoring=True, debug="M", arg="corners"))
+        # rank 3 of a 2x2 grid owns the bottom-right block
+        rec = r.rank_results[3].monitor.records[0]
+        computed = np.argwhere(rec.tiling >= 0)
+        assert computed[:, 0].min() >= 2 and computed[:, 1].min() >= 2
+
+    def test_misaligned_blocks_rejected(self):
+        from repro.errors import MpiError
+
+        with pytest.raises(MpiError):
+            run(make_config(kernel="heat", variant="mpi_2d", mpi_np=3,
+                            dim=32, tile_w=8, tile_h=8))
+
+    def test_requires_mpirun(self):
+        with pytest.raises(Exception):
+            run(make_config(kernel="heat", variant="mpi_2d", mpi_np=0))

@@ -1,0 +1,225 @@
+"""Integration tests: every figure's qualitative claim, at test scale.
+
+Each test mirrors one benchmark target (see DESIGN.md's per-experiment
+index) with small sizes, asserting the *shape* the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.trace.compare import TraceComparison
+from repro.trace.coverage import locality_score
+from tests.conftest import make_config
+
+
+def mandel(**kw):
+    base = dict(kernel="mandel", variant="omp_tiled", dim=128, tile_w=16,
+                tile_h=16, iterations=2, nthreads=4)
+    base.update(kw)
+    return run(make_config(**base))
+
+
+class TestFig3Monitoring:
+    """Static distribution of mandel tiles => visible load imbalance."""
+
+    def test_load_imbalance_between_cpus(self):
+        r = mandel(schedule="static", monitoring=True)
+        loads = r.monitor.records[-1].load_percent()
+        assert max(loads) > 95.0
+        assert min(loads) < 60.0
+
+    def test_idleness_accumulates(self):
+        r = mandel(schedule="static", iterations=3, monitoring=True)
+        hist = r.monitor.idleness_history
+        assert all(b >= a for a, b in zip(hist, hist[1:]))
+        assert hist[-1] > 0
+
+
+class TestFig4SchedulingPolicies:
+    """Tiling-window signatures of the four policies."""
+
+    def _tiling(self, schedule):
+        r = mandel(schedule=schedule, iterations=1, monitoring=True)
+        return r, r.monitor.records[0]
+
+    def test_static_contiguous_blocks(self):
+        _, rec = self._tiling("static")
+        flat = rec.tiling.ravel()
+        # collapse(2) static: each CPU owns one contiguous index range
+        changes = (np.diff(flat) != 0).sum()
+        assert changes == 3  # exactly ncpus-1 boundaries
+
+    def test_dynamic_interleaves(self):
+        _, rec = self._tiling("dynamic,2")
+        flat = rec.tiling.ravel()
+        changes = (np.diff(flat) != 0).sum()
+        assert changes > 10  # opportunistic: many ownership changes
+
+    def test_nonmonotonic_static_blocks_plus_steals(self):
+        r, rec = self._tiling("nonmonotonic:dynamic")
+        assert rec.stolen.any()  # work stealing corrected imbalance
+        # non-stolen tiles still sit in their static block
+        flat = rec.tiling.ravel()
+        stolen_flat = rec.stolen.ravel()
+        own = [c for c, s in zip(flat, stolen_flat) if not s]
+        changes = sum(1 for a, b in zip(own, own[1:]) if a != b)
+        assert changes <= 4
+
+    def test_guided_chunks_decrease(self):
+        from repro.sched.policies import parse_schedule
+        from repro.sched.simulator import simulate
+        from repro.sched.costmodel import DEFAULT_COST_MODEL
+
+        res = simulate([1e-4] * 64, parse_schedule("guided"), 4,
+                       model=DEFAULT_COST_MODEL)
+        sizes = res.chunk_sizes()
+        assert sizes[0] > sizes[-1]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestPerfMode:
+    """§II-C: '50 iterations completed in 579 ms' style output."""
+
+    def test_output_line(self):
+        r = mandel(iterations=5)
+        assert r.summary().startswith("5 iterations completed in")
+
+
+class TestFig6Speedups:
+    """Speedup ordering: dynamic/guided/nonmonotonic scale, static lags."""
+
+    def test_schedule_ordering_at_8_threads(self):
+        times = {
+            s: mandel(schedule=s, nthreads=8, iterations=2).virtual_time
+            for s in ["static", "dynamic,2", "guided", "nonmonotonic:dynamic"]
+        }
+        assert times["dynamic,2"] < times["static"]
+        assert times["nonmonotonic:dynamic"] < times["static"]
+        assert times["guided"] < times["static"]
+
+    def test_dynamic_scales_with_threads(self):
+        seq = mandel(nthreads=1, iterations=2).virtual_time
+        t4 = mandel(nthreads=4, iterations=2).virtual_time
+        t8 = mandel(nthreads=8, iterations=2).virtual_time
+        assert seq / t4 > 3.0
+        assert seq / t8 > 5.5
+
+    def test_static_speedup_plateaus(self):
+        seq = mandel(nthreads=1, iterations=2).virtual_time
+        t8 = mandel(schedule="static", nthreads=8, iterations=2).virtual_time
+        assert seq / t8 < 5.0  # far from linear
+
+
+class TestFig8DynamicPatterns:
+    """dynamic,1 with small tiles: stripes in cheap rows, cyclic in
+    uniform-cost areas."""
+
+    def test_stripes_of_one_color_appear(self):
+        """Pattern 1: runs of tiles computed by the same thread, because
+        the other threads are stuck on heavy in-set tiles."""
+        r = mandel(schedule="dynamic", dim=128, tile_w=8, tile_h=8,
+                   iterations=1, monitoring=True)
+        tiling = r.monitor.records[0].tiling
+        best_run = 0
+        for row in tiling:
+            run = 1
+            for a, b in zip(row, row[1:]):
+                run = run + 1 if a == b else 1
+                best_run = max(best_run, run)
+        assert best_run >= 5
+
+    def test_cyclic_in_uniform_cost_area(self):
+        """Pattern 2: where all tiles cost the same, the dynamic
+        distribution turns into a regular cyclic one."""
+        r = mandel(schedule="dynamic", dim=128, tile_w=8, tile_h=8,
+                   iterations=1, monitoring=True)
+        rec = r.monitor.records[0]
+        heat = rec.heat
+        ratios = heat.max(axis=1) / np.maximum(heat.min(axis=1), 1e-300)
+        row = int(ratios.argmin())  # the most uniform-cost tile row
+        owners = rec.tiling[row].tolist()
+        changes = sum(1 for a, b in zip(owners, owners[1:]) if a != b)
+        assert changes >= len(owners) - 2  # (quasi-)perfect cyclic
+
+
+class TestFig9Heatmap:
+    def test_mandel_heat_correlates_with_set(self):
+        r = mandel(iterations=1, monitoring=True)
+        rec = r.monitor.records[0]
+        # black (in-set) pixel fraction per tile
+        img = r.image
+        dark = (img >> 8) == 0
+        frac = dark.reshape(8, 16, 8, 16).mean(axis=(1, 3))
+        heat = rec.heat
+        # tiles with more set pixels cost more (positive correlation)
+        corr = np.corrcoef(frac.ravel(), heat.ravel())[0, 1]
+        assert corr > 0.6
+
+    def test_blur_border_tiles_brighter(self):
+        r = run(make_config(kernel="blur", variant="omp_tiled_opt", dim=64,
+                            tile_w=8, tile_h=8, iterations=1, nthreads=4,
+                            monitoring=True))
+        heat = r.monitor.records[0].heat
+        assert heat[0].mean() > 2 * heat[1:-1, 1:-1].mean()
+
+
+class TestFig10BlurComparison:
+    def test_overall_3x_and_tiles_8x(self):
+        # the paper's geometry: a 16x16 tile grid (dim 512, tile 32 there;
+        # dim 256, tile 16 here) -> ~23% border tiles -> ~3x overall
+        cfg = dict(kernel="blur", dim=256, tile_w=16, tile_h=16, iterations=2,
+                   nthreads=4, trace=True)
+        basic = run(make_config(variant="omp_tiled", **cfg))
+        opt = run(make_config(variant="omp_tiled_opt", **cfg))
+        cmp_ = TraceComparison(basic.trace, opt.trace)
+        assert 2.0 < cmp_.overall_factor() < 4.5
+        med, p90 = cmp_.speedup_quantiles()
+        assert p90 >= 7.5  # "many tasks approximately 10 times faster"
+
+    def test_locality_of_nonmonotonic_vs_dynamic(self):
+        cfg = dict(kernel="blur", variant="omp_tiled", dim=128, tile_w=16,
+                   tile_h=16, iterations=4, nthreads=4, trace=True)
+        nm = run(make_config(schedule="nonmonotonic:dynamic", **cfg))
+        dyn = run(make_config(schedule="dynamic", **cfg))
+        assert locality_score(nm.trace) < locality_score(dyn.trace)
+
+
+class TestFig12TaskWave:
+    def test_wave_depth_matches_grid(self):
+        r = run(make_config(kernel="cc", variant="omp_task", dim=64, tile_w=16,
+                            tile_h=16, iterations=4, nthreads=8, trace=True))
+        events = [e for e in r.trace.events
+                  if e.kind == "task_dr" and e.iteration == 1]
+        # group start times: tasks form 2*4-1 = 7 distinct waves at most
+        starts = sorted({round(e.start, 9) for e in events})
+        assert len(starts) >= 4  # strictly more phases than a flat loop
+
+
+class TestFig13MpiLife:
+    def test_half_image_per_process_and_diagonal_tiles_only(self):
+        r = run(make_config(kernel="life", variant="mpi_omp", mpi_np=2,
+                            dim=256, tile_w=16, tile_h=16, iterations=6,
+                            arg="diag", monitoring=True, debug="M"))
+        for rank, rr in enumerate(r.rank_results):
+            rec = rr.monitor.records[-1]
+            computed = np.argwhere(rec.tiling >= 0)
+            rows = computed[:, 0]
+            half = rec.tiling.shape[0] // 2
+            if rank == 0:
+                assert rows.max() < half
+            else:
+                assert rows.min() >= half
+            # sparse: only diagonal-ish tiles computed
+            assert rec.computed_fraction() < 0.5
+
+    def test_threads_within_each_process(self):
+        r = run(make_config(kernel="life", variant="mpi_omp", mpi_np=2,
+                            dim=128, tile_w=16, tile_h=16, iterations=4,
+                            nthreads=4, arg="random", monitoring=True,
+                            debug="M"))
+        for rr in r.rank_results:
+            cpus = set()
+            for rec in rr.monitor.records:
+                cpus |= set(np.unique(rec.tiling[rec.tiling >= 0]).tolist())
+            assert len(cpus) == 4  # 2 processes x 4 threads (Fig. 13)

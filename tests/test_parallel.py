@@ -1,0 +1,139 @@
+"""Tests for parallel_for: sim backend semantics + real threads backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.sched.costmodel import CostModel
+from tests.conftest import make_config
+
+ZERO = CostModel(1.0, 0.0, 0.0, 0.0)
+
+
+def ctx_with(**kw):
+    model = kw.pop("model", None)
+    return ExecutionContext(make_config(**kw), model=model)
+
+
+class TestSimBackend:
+    def test_all_items_executed_once(self):
+        ctx = ctx_with(dim=64, tile_w=16, tile_h=16)
+        seen = []
+        ctx.parallel_for(lambda t: seen.append(t.index) or 1.0)
+        assert sorted(seen) == list(range(16))
+
+    def test_clock_advances_by_makespan_plus_forkjoin(self):
+        ctx = ctx_with(nthreads=2, schedule="dynamic", model=ZERO)
+        items = list(range(4))
+        res = ctx.parallel_for(lambda i: 1.0, items)
+        assert res.makespan == pytest.approx(2.0)
+        assert ctx.vclock == pytest.approx(2.0)  # fork_join is 0 here
+
+    def test_fork_join_overhead_added(self):
+        model = CostModel(1.0, 0.0, 0.0, fork_join_overhead=0.5)
+        ctx = ctx_with(nthreads=2, schedule="dynamic", model=model)
+        ctx.parallel_for(lambda i: 1.0, [0, 1])
+        assert ctx.vclock == pytest.approx(1.5)
+
+    def test_default_items_are_grid_tiles(self):
+        ctx = ctx_with(dim=32, tile_w=16, tile_h=16)
+        res = ctx.parallel_for(lambda t: 1.0)
+        assert len(res.timeline) == 4
+
+    def test_schedule_override(self):
+        ctx = ctx_with(schedule="static", nthreads=2, model=ZERO)
+        res = ctx.parallel_for(lambda i: 1.0, list(range(6)), schedule="dynamic,3")
+        assert all(g.size == 3 for g in res.grabs)
+
+    def test_iteration_tagged_in_meta(self):
+        ctx = ctx_with(model=ZERO)
+        for it in ctx.iterations(2):
+            res = ctx.parallel_for(lambda i: 1.0, [0, 1])
+            assert all(e.meta["iteration"] == it for e in res.timeline)
+
+    def test_monitor_receives_timelines(self):
+        ctx = ctx_with(monitoring=True, model=ZERO)
+        for _ in ctx.iterations(1):
+            ctx.parallel_for(lambda t: 1.0)
+        assert ctx.monitor is not None
+        rec = ctx.monitor.records[0]
+        assert rec.ntasks == len(ctx.grid)
+        assert (rec.tiling >= 0).all()
+
+    def test_work_none_counts_as_zero(self):
+        ctx = ctx_with(model=ZERO)
+        res = ctx.parallel_for(lambda i: None, [0, 1])
+        assert res.makespan == pytest.approx(0.0)
+
+    def test_region_log_capture(self):
+        ctx = ctx_with(model=ZERO)
+        ctx.region_log = []
+        ctx.parallel_for(lambda i: float(i), [1, 2, 3])
+        kind, works = ctx.region_log[0]
+        assert kind == "par" and works == [1.0, 2.0, 3.0]
+
+
+class TestSequentialFor:
+    def test_runs_on_cpu0_back_to_back(self):
+        ctx = ctx_with(model=ZERO)
+        ctx.sequential_for(lambda i: 2.0, [0, 1, 2])
+        assert ctx.vclock == pytest.approx(6.0)
+
+    def test_recorded_for_monitoring(self):
+        ctx = ctx_with(monitoring=True, model=ZERO)
+        for _ in ctx.iterations(1):
+            ctx.sequential_for(lambda t: 1.0)
+        rec = ctx.monitor.records[0]
+        assert set(np.unique(rec.tiling)) == {0}
+
+
+class TestThreadsBackend:
+    """The real-thread backend: correctness (not timing) assertions."""
+
+    @pytest.mark.parametrize("schedule", ["static", "dynamic,2", "guided", "nonmonotonic:dynamic"])
+    def test_all_items_executed_exactly_once(self, schedule):
+        import threading
+
+        ctx = ctx_with(backend="threads", nthreads=4, schedule=schedule)
+        lock = threading.Lock()
+        seen = []
+
+        def body(i):
+            with lock:
+                seen.append(i)
+            return 1.0
+
+        res = ctx.parallel_for(body, list(range(37)))
+        assert sorted(seen) == list(range(37))
+        assert len(res.timeline) == 37
+        res.timeline.validate()
+
+    def test_wall_clock_advances(self):
+        ctx = ctx_with(backend="threads", nthreads=2)
+        before = ctx.vclock
+        ctx.parallel_for(lambda i: 1.0, list(range(8)))
+        assert ctx.vclock > before
+
+    def test_multiple_worker_threads_used(self):
+        import threading
+
+        ctx = ctx_with(backend="threads", nthreads=4, schedule="static")
+        names = set()
+        lock = threading.Lock()
+
+        def body(i):
+            with lock:
+                names.add(threading.current_thread().name)
+            return 1.0
+
+        ctx.parallel_for(body, list(range(64)))
+        assert len(names) > 1
+
+    def test_kernel_run_matches_sim_image(self):
+        from repro.core.engine import run
+
+        a = run(make_config(kernel="invert", variant="omp_tiled", dim=32,
+                            tile_w=8, tile_h=8, iterations=2, backend="sim"))
+        b = run(make_config(kernel="invert", variant="omp_tiled", dim=32,
+                            tile_w=8, tile_h=8, iterations=2, backend="threads"))
+        assert np.array_equal(a.image, b.image)

@@ -1,0 +1,67 @@
+"""Tests for the PlotSpec renderers."""
+
+from repro.expt.easyplot import PlotFacet, PlotSeries, PlotSpec
+from repro.expt.plotting import render_ascii_chart, render_svg, render_text
+
+
+def spec_fixture():
+    s1 = PlotSeries("schedule=dynamic", xs=[2, 4], ys=[2.0, 3.9], yerr=[0.1, 0.2])
+    s2 = PlotSeries("schedule=static", xs=[2, 4], ys=[1.5, 2.0], yerr=[0.0, 0.0])
+    return PlotSpec(
+        x="threads",
+        ylabel="speedup",
+        facets=[PlotFacet("grain = 16", [s1, s2]),
+                PlotFacet("grain = 32", [s1, s2])],
+        const_params={"kernel": "mandel", "dim": 1024},
+        ref_time_us=669009.0,
+    )
+
+
+class TestText:
+    def test_contains_header_facets_series(self):
+        out = render_text(spec_fixture())
+        assert "Parameters :" in out
+        assert "kernel=mandel" in out
+        assert "refTime=669009" in out
+        assert "grain = 16" in out and "grain = 32" in out
+        assert "schedule=dynamic" in out
+        assert "3.900" in out
+
+    def test_missing_point_rendered_as_dash(self):
+        s = PlotSeries("a", xs=[1], ys=[1.0], yerr=[0.0])
+        t = PlotSeries("b", xs=[1, 2], ys=[1.0, 2.0], yerr=[0.0, 0.0])
+        spec = PlotSpec(x="x", ylabel="y", facets=[PlotFacet("", [s, t])])
+        assert "-" in render_text(spec)
+
+
+class TestAsciiChart:
+    def test_chart_renders_points(self):
+        out = render_ascii_chart(spec_fixture())
+        assert "A = schedule=dynamic" in out
+        assert "ymax=" in out
+
+    def test_empty_facet(self):
+        spec = PlotSpec(x="x", ylabel="y", facets=[PlotFacet("t", [])])
+        assert "(no data)" in render_ascii_chart(spec)
+
+
+class TestSvg:
+    def test_structure(self):
+        svg = render_svg(spec_fixture()).tostring()
+        assert svg.count("<polyline") == 4  # 2 series x 2 facets
+        assert "legend" in svg
+        assert "schedule=dynamic" in svg
+        assert "grain = 16" in svg
+        assert "speedup" in svg
+
+    def test_single_point_series_no_polyline(self):
+        s = PlotSeries("a", xs=[1], ys=[1.0], yerr=[0.0])
+        spec = PlotSpec(x="x", ylabel="y", facets=[PlotFacet("", [s])])
+        svg = render_svg(spec).tostring()
+        assert "<polyline" not in svg
+        assert "<circle" in svg
+
+    def test_error_bars_drawn(self):
+        svg = render_svg(spec_fixture()).tostring()
+        # error bars are vertical lines beyond the axes/ticks
+        assert svg.count("<line") > 12

@@ -1,0 +1,147 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check invariants that tie several subsystems together on randomly
+generated configurations — the system-level contracts individual module
+tests cannot see.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import run
+from repro.sched.costmodel import CostModel
+from repro.sched.policies import parse_schedule
+from repro.sched.simulator import simulate
+from tests.conftest import make_config
+
+SCHEDULES = ["static", "static,2", "dynamic", "dynamic,3", "guided",
+             "nonmonotonic:dynamic", "nonmonotonic:dynamic,2"]
+
+ZERO = CostModel(1.0, 0.0, 0.0, 0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dim=st.sampled_from([16, 32, 48]),
+    tile=st.sampled_from([4, 8, 16]),
+    nthreads=st.integers(1, 6),
+    schedule=st.sampled_from(SCHEDULES),
+    seed=st.integers(0, 3),
+)
+def test_invert_every_config_matches_seq(dim, tile, nthreads, schedule, seed):
+    """Property: any (geometry, team, schedule) combination computes the
+    same image as the sequential variant."""
+    cfg = dict(kernel="invert", dim=dim, tile_w=tile, tile_h=tile,
+               iterations=2, seed=seed)
+    ref = run(make_config(variant="seq", nthreads=1, **cfg))
+    par = run(make_config(variant="omp_tiled", nthreads=nthreads,
+                          schedule=schedule, **cfg))
+    assert np.array_equal(ref.image, par.image)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nthreads=st.integers(1, 8),
+    schedule=st.sampled_from(SCHEDULES),
+)
+def test_monitor_busy_equals_trace_busy(nthreads, schedule):
+    """Property: the Monitor's per-CPU busy totals equal the trace's —
+    the two observation paths never disagree."""
+    r = run(make_config(kernel="mandel", variant="omp_tiled",
+                        nthreads=nthreads, schedule=schedule,
+                        monitoring=True, trace=True, iterations=2))
+    from repro.trace.stats import per_cpu_busy
+
+    mon_busy = [0.0] * nthreads
+    for rec in r.monitor.records:
+        for c, b in enumerate(rec.busy):
+            mon_busy[c] += b
+    assert mon_busy == pytest.approx(per_cpu_busy(r.trace))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nthreads=st.integers(1, 8),
+    schedule=st.sampled_from(SCHEDULES),
+    iterations=st.integers(1, 3),
+)
+def test_trace_event_count_for_eager_kernels(nthreads, schedule, iterations):
+    """Property: eager tiled kernels record exactly tiles x iterations
+    events, each within its iteration's time bounds."""
+    r = run(make_config(kernel="spin", variant="omp_tiled",
+                        nthreads=nthreads, schedule=schedule,
+                        iterations=iterations, trace=True))
+    assert len(r.trace) == 16 * iterations  # 64/16 grid
+    for e in r.trace.events:
+        assert 0 <= e.start <= e.end <= r.virtual_time + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    costs=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=50),
+    ncpus=st.integers(1, 8),
+    schedule=st.sampled_from(SCHEDULES),
+)
+def test_more_cpus_never_hurt_without_overheads(costs, ncpus, schedule):
+    """Property: with zero overheads, doubling the team never increases
+    the makespan for static/dynamic/guided policies."""
+    policy = parse_schedule(schedule)
+    one = simulate(costs, policy, ncpus, model=ZERO).makespan
+    two = simulate(costs, policy, ncpus * 2, model=ZERO).makespan
+    if schedule.startswith("static") or schedule.startswith("nonmonotonic"):
+        # block shapes change: allow small regressions only for stealing
+        # policies where chunk boundaries shift
+        assert two <= one * 1.5 + 1e-9
+    else:
+        assert two <= one + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nthreads=st.integers(1, 6),
+    schedule=st.sampled_from(SCHEDULES),
+)
+def test_vclock_equals_trace_end_plus_overheads(nthreads, schedule):
+    """Property: the run's virtual time is never before the last trace
+    event and only exceeds it by accumulated fork/join overheads."""
+    r = run(make_config(kernel="mandel", variant="omp_tiled",
+                        nthreads=nthreads, schedule=schedule, trace=True,
+                        iterations=2))
+    last_end = max(e.end for e in r.trace.events)
+    assert r.virtual_time >= last_end
+    # 2 iterations => 2 parallel regions => 2 fork/joins (+ masters)
+    from repro.sched.costmodel import DEFAULT_COST_MODEL
+
+    slack = r.virtual_time - last_end
+    assert slack <= 4 * DEFAULT_COST_MODEL.fork_join_overhead + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5), np_=st.sampled_from([1, 2, 4]))
+def test_life_mpi_matches_seq_any_seed(seed, np_):
+    """Property: the distributed Game of Life equals the sequential one
+    for arbitrary random boards and world sizes."""
+    cfg = dict(kernel="life", dim=32, tile_w=8, tile_h=8, iterations=4,
+               arg="random", seed=seed)
+    ref = run(make_config(variant="seq", **cfg))
+    mpi = run(make_config(variant="mpi_omp", mpi_np=np_, **cfg))
+    assert np.array_equal(ref.image, mpi.image)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sigma=st.floats(0.0, 0.2),
+    run_index=st.integers(0, 3),
+    nthreads=st.integers(1, 4),
+)
+def test_jittered_replay_identity(sigma, run_index, nthreads):
+    """Property: work-profile replay reproduces full-run times exactly,
+    for any noise level and repetition index."""
+    from repro.expt.replay import WorkProfileCache
+
+    cfg = make_config(kernel="spin", variant="omp_tiled", iterations=2,
+                      jitter=sigma, run_index=run_index, nthreads=nthreads)
+    cache = WorkProfileCache()
+    assert cache.simulate(cfg) == pytest.approx(run(cfg).virtual_time)

@@ -1,0 +1,84 @@
+"""Tests for the parallel_reduce construct."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.engine import run
+from repro.sched.costmodel import CostModel
+from tests.conftest import make_config
+
+ZERO = CostModel(1.0, 0.0, 0.0, 0.0)
+
+
+def ctx_with(**kw):
+    model = kw.pop("model", ZERO)
+    return ExecutionContext(make_config(**kw), model=model)
+
+
+class TestParallelReduce:
+    def test_sum_reduction(self):
+        ctx = ctx_with(nthreads=3)
+        res, total = ctx.parallel_reduce(
+            lambda i: (1.0, i), list(range(10)),
+            combine=operator.add, init=0,
+        )
+        assert total == 45
+        assert len(res.timeline) == 10
+
+    def test_max_reduction(self):
+        ctx = ctx_with()
+        _, biggest = ctx.parallel_reduce(
+            lambda i: (1.0, i * 7 % 13), list(range(13)),
+            combine=max, init=-1,
+        )
+        assert biggest == 12
+
+    def test_clock_advances_like_parallel_for(self):
+        a = ctx_with(nthreads=2, schedule="dynamic")
+        a.parallel_for(lambda i: 1.0, [0, 1, 2, 3])
+        b = ctx_with(nthreads=2, schedule="dynamic")
+        b.parallel_reduce(lambda i: (1.0, 0), [0, 1, 2, 3],
+                          combine=operator.add, init=0)
+        assert a.vclock == pytest.approx(b.vclock)
+
+    def test_combination_order_is_item_order(self):
+        ctx = ctx_with(nthreads=4, schedule="dynamic")
+        _, seqs = ctx.parallel_reduce(
+            lambda i: (1.0, [i]), list(range(6)),
+            combine=operator.add, init=[],
+        )
+        assert seqs == [0, 1, 2, 3, 4, 5]  # deterministic, unlike real OpenMP
+
+    def test_default_items_are_tiles(self):
+        ctx = ctx_with(dim=64, tile_w=16, tile_h=16)
+        _, count = ctx.parallel_reduce(
+            lambda t: (1.0, 1), combine=operator.add, init=0
+        )
+        assert count == 16
+
+    def test_region_log_captured(self):
+        ctx = ctx_with()
+        ctx.region_log = []
+        ctx.parallel_reduce(lambda i: (float(i), i), [1, 2],
+                            combine=operator.add, init=0)
+        assert ctx.region_log == [("par", [1.0, 2.0])]
+
+    def test_threads_backend(self):
+        ctx = ctx_with(backend="threads", nthreads=4)
+        _, total = ctx.parallel_reduce(
+            lambda i: (1.0, i), list(range(100)),
+            combine=operator.add, init=0,
+        )
+        assert total == sum(range(100))
+
+
+class TestHeatUsesReduction:
+    def test_omp_tiled_still_matches_seq(self):
+        cfg = dict(kernel="heat", dim=32, tile_w=8, tile_h=8, iterations=25)
+        a = run(make_config(variant="seq", **cfg))
+        b = run(make_config(variant="omp_tiled", nthreads=4, **cfg))
+        assert np.allclose(a.context.data["temp"], b.context.data["temp"])
+        assert a.early_stop == b.early_stop

@@ -1,0 +1,72 @@
+"""Tests for work-profile capture & replay."""
+
+import pytest
+
+from repro.core.engine import run
+from repro.errors import ConfigError
+from repro.expt.replay import WorkProfileCache, capture_log, replay_log
+from tests.conftest import make_config
+
+
+class TestCapture:
+    def test_parallel_kernel_logs_par_regions(self):
+        cfg = make_config(kernel="mandel", variant="omp_tiled", iterations=3)
+        log, model = capture_log(cfg)
+        pars = [e for e in log if e[0] == "par"]
+        assert len(pars) == 3
+        assert all(len(e[1]) == 16 for e in pars)  # 4x4 tiles
+
+    def test_task_kernel_logs_dags(self):
+        cfg = make_config(kernel="cc", variant="omp_task", iterations=4)
+        log, _ = capture_log(cfg)
+        dags = [e for e in log if e[0] == "dag"]
+        assert dags
+        works, preds = dags[0][1], dags[0][2]
+        assert len(works) == len(preds) == 16
+
+    def test_mpi_rejected(self):
+        cfg = make_config(kernel="life", variant="mpi_omp", mpi_np=2)
+        with pytest.raises(ConfigError):
+            capture_log(cfg)
+
+
+class TestReplay:
+    @pytest.mark.parametrize("variant", ["omp_tiled", "tiled"])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided",
+                                          "nonmonotonic:dynamic"])
+    def test_replay_equals_full_run(self, variant, schedule):
+        base = make_config(kernel="mandel", variant=variant, iterations=2)
+        cache = WorkProfileCache()
+        for threads in (1, 3, 5):
+            cfg = base.with_(nthreads=threads, schedule=schedule)
+            assert cache.simulate(cfg) == pytest.approx(run(cfg).virtual_time)
+
+    def test_replay_equals_full_run_for_tasks(self):
+        base = make_config(kernel="cc", variant="omp_task", iterations=6)
+        cache = WorkProfileCache()
+        for threads in (2, 4):
+            cfg = base.with_(nthreads=threads)
+            assert cache.simulate(cfg) == pytest.approx(run(cfg).virtual_time)
+
+    def test_cache_reused_across_configs(self):
+        cache = WorkProfileCache()
+        base = make_config(kernel="mandel", variant="omp_tiled")
+        cache.simulate(base.with_(nthreads=2))
+        cache.simulate(base.with_(nthreads=8, schedule="static"))
+        assert len(cache._cache) == 1  # same workload key
+
+    def test_different_workloads_not_conflated(self):
+        cache = WorkProfileCache()
+        base = make_config(kernel="mandel", variant="omp_tiled")
+        cache.simulate(base)
+        cache.simulate(base.with_(dim=32))
+        assert len(cache._cache) == 2
+
+    def test_unknown_entry_kind_rejected(self):
+        from repro.sched.costmodel import DEFAULT_COST_MODEL
+        from repro.sched.policies import parse_schedule
+
+        with pytest.raises(ConfigError):
+            replay_log([("bogus",)], nthreads=2,
+                       policy=parse_schedule("dynamic"),
+                       model=DEFAULT_COST_MODEL)

@@ -1,0 +1,94 @@
+"""Tests for the Abelian sandpile kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.kernels.sandpile import sandpile_step_rect
+from tests.conftest import make_config
+
+
+def step_full(grains):
+    nxt = np.zeros_like(grains)
+    sandpile_step_rect(grains, nxt, 0, 0, *grains.shape)
+    return nxt
+
+
+class TestStep:
+    def test_stable_grid_unchanged(self):
+        g = np.full((6, 6), 3, dtype=np.int64)
+        assert np.array_equal(step_full(g), g)
+
+    def test_single_topple(self):
+        g = np.zeros((3, 3), dtype=np.int64)
+        g[1, 1] = 4
+        nxt = step_full(g)
+        assert nxt[1, 1] == 0
+        assert nxt[0, 1] == nxt[2, 1] == nxt[1, 0] == nxt[1, 2] == 1
+
+    def test_grains_lost_at_border(self):
+        g = np.zeros((3, 3), dtype=np.int64)
+        g[0, 0] = 4
+        nxt = step_full(g)
+        # two grains fall off the two outside edges
+        assert nxt.sum() == 2
+
+    def test_grain_conservation_interior(self):
+        rng = np.random.default_rng(2)
+        g = rng.integers(0, 4, (8, 8)).astype(np.int64)  # all stable
+        g[4, 4] = 7
+        nxt = step_full(g)
+        assert nxt.sum() == g.sum()  # interior topple conserves grains
+
+    def test_tiled_equals_full(self):
+        rng = np.random.default_rng(3)
+        g = rng.integers(0, 8, (12, 12)).astype(np.int64)
+        full = step_full(g)
+        tiled = np.zeros_like(g)
+        for y in range(0, 12, 4):
+            for x in range(0, 12, 4):
+                sandpile_step_rect(g, tiled, y, x, 4, 4)
+        assert np.array_equal(full, tiled)
+
+    def test_changed_count(self):
+        g = np.zeros((3, 3), dtype=np.int64)
+        g[1, 1] = 4
+        nxt = np.zeros_like(g)
+        changed = sandpile_step_rect(g, nxt, 0, 0, 3, 3)
+        assert changed == 5
+
+
+class TestKernel:
+    def test_uniform5_stabilizes(self):
+        r = run(make_config(kernel="sandpile", variant="seq", dim=16,
+                            tile_w=8, tile_h=8, iterations=500))
+        assert r.early_stop > 0
+        grains = r.context.data["grains"]
+        assert (grains[1:-1, 1:-1] <= 3).all()
+
+    def test_variants_agree(self):
+        cfg = dict(kernel="sandpile", dim=16, tile_w=8, tile_h=8, iterations=60)
+        a = run(make_config(variant="seq", **cfg))
+        b = run(make_config(variant="omp_tiled", nthreads=4, **cfg))
+        assert np.array_equal(a.image, b.image)
+        assert a.early_stop == b.early_stop
+
+    def test_center_dataset(self):
+        r = run(make_config(kernel="sandpile", variant="omp_tiled", dim=16,
+                            tile_w=8, tile_h=8, iterations=10, arg="center"))
+        assert r.completed_iterations == 10  # still toppling
+        assert r.image.any()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            run(make_config(kernel="sandpile", variant="seq", arg="nope"))
+
+    def test_abelian_final_state_is_symmetric(self):
+        """uniform5 with symmetric boundary: the stable state inherits the
+        grid's 4-fold symmetry."""
+        r = run(make_config(kernel="sandpile", variant="seq", dim=17,
+                            tile_w=8, tile_h=8, iterations=1000))
+        g = r.context.data["grains"]
+        assert np.array_equal(g, g[::-1, :])
+        assert np.array_equal(g, g[:, ::-1])
+        assert np.array_equal(g, g.T)

@@ -1,0 +1,86 @@
+"""Tests for the simple kernels: none, invert, transpose, pixelize."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from tests.conftest import make_config
+
+
+class TestInvert:
+    def test_involution(self):
+        one = run(make_config(kernel="invert", variant="seq", iterations=1, seed=3))
+        two = run(make_config(kernel="invert", variant="seq", iterations=2, seed=3))
+        zero = run(make_config(kernel="invert", variant="seq", iterations=2, seed=3))
+        # applying invert twice = identity
+        assert np.array_equal(two.image, zero.image)
+        assert not np.array_equal(one.image, two.image)
+
+    def test_alpha_preserved(self):
+        r = run(make_config(kernel="invert", variant="omp_tiled", iterations=1))
+        assert ((r.image & 0xFF) == 0xFF).all()
+
+    def test_variants_agree(self):
+        a = run(make_config(kernel="invert", variant="seq", iterations=3, seed=1))
+        b = run(make_config(kernel="invert", variant="omp_tiled", iterations=3,
+                            seed=1, nthreads=3, schedule="guided"))
+        assert np.array_equal(a.image, b.image)
+
+
+class TestTranspose:
+    def test_transpose_is_matrix_transpose(self):
+        r = run(make_config(kernel="transpose", variant="seq", iterations=1, seed=2))
+        base = run(make_config(kernel="transpose", variant="seq", iterations=2, seed=2))
+        # two transposes = identity; one transpose = .T of the original
+        orig = run(make_config(kernel="none", variant="seq", iterations=1, seed=2))
+        assert np.array_equal(r.image, orig.image.T)
+        assert np.array_equal(base.image, orig.image)
+
+    def test_variants_agree(self):
+        a = run(make_config(kernel="transpose", variant="seq", iterations=1, seed=5))
+        b = run(make_config(kernel="transpose", variant="omp_tiled", iterations=1,
+                            seed=5, nthreads=4))
+        assert np.array_equal(a.image, b.image)
+
+    def test_rectangular_tiles(self):
+        a = run(make_config(kernel="transpose", variant="omp_tiled", iterations=1,
+                            seed=5, tile_w=16, tile_h=8))
+        b = run(make_config(kernel="transpose", variant="seq", iterations=1,
+                            seed=5, tile_w=32, tile_h=32))
+        assert np.array_equal(a.image, b.image)
+
+
+class TestPixelize:
+    def test_each_tile_uniform(self):
+        r = run(make_config(kernel="pixelize", variant="omp_tiled", dim=64,
+                            tile_w=16, tile_h=16, iterations=1))
+        for ty in range(0, 64, 16):
+            for tx in range(0, 64, 16):
+                tile = r.image[ty : ty + 16, tx : tx + 16]
+                assert (tile == tile[0, 0]).all()
+
+    def test_idempotent(self):
+        one = run(make_config(kernel="pixelize", variant="seq", iterations=1, seed=4))
+        two = run(make_config(kernel="pixelize", variant="seq", iterations=2, seed=4))
+        assert np.array_equal(one.image, two.image)
+
+    def test_variants_agree(self):
+        a = run(make_config(kernel="pixelize", variant="seq", iterations=1, seed=6))
+        b = run(make_config(kernel="pixelize", variant="omp_tiled", iterations=1, seed=6))
+        assert np.array_equal(a.image, b.image)
+
+
+class TestNone:
+    def test_image_unchanged(self):
+        r0 = run(make_config(kernel="none", variant="seq", iterations=1, seed=7))
+        r5 = run(make_config(kernel="none", variant="omp_tiled", iterations=5, seed=7))
+        assert np.array_equal(r0.image, r5.image)
+
+    def test_cost_is_pure_overhead(self):
+        """The 'none' kernel exposes runtime overhead: more tiles =>
+        more dispatch cost, at equal total work."""
+        coarse = run(make_config(kernel="none", variant="omp_tiled", dim=64,
+                                 tile_w=32, tile_h=32, iterations=1))
+        fine = run(make_config(kernel="none", variant="omp_tiled", dim=64,
+                               tile_w=4, tile_h=4, iterations=1))
+        assert fine.virtual_time > coarse.virtual_time

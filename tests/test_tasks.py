@@ -1,0 +1,105 @@
+"""Tests for TaskRegion (omp tasks with dependencies)."""
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.errors import DependencyError
+from repro.sched.costmodel import CostModel
+from tests.conftest import make_config
+
+ZERO = CostModel(1.0, 0.0, 0.0, 0.0)
+
+
+def ctx_with(**kw):
+    model = kw.pop("model", ZERO)
+    return ExecutionContext(make_config(**kw), model=model)
+
+
+class TestTaskRegion:
+    def test_bodies_execute_at_submission(self):
+        ctx = ctx_with()
+        order = []
+        with ctx.task_region() as tr:
+            tr.task(lambda: order.append("a") or 1.0)
+            tr.task(lambda: order.append("b") or 1.0)
+        assert order == ["a", "b"]
+
+    def test_independent_tasks_parallelize(self):
+        ctx = ctx_with(nthreads=4)
+        with ctx.task_region() as tr:
+            for i in range(4):
+                tr.task(lambda: 1.0)
+        assert tr.timeline.makespan == pytest.approx(1.0)
+        assert ctx.vclock == pytest.approx(1.0)
+
+    def test_dependent_tasks_serialize(self):
+        ctx = ctx_with(nthreads=4)
+        with ctx.task_region() as tr:
+            for i in range(4):
+                tr.task(lambda: 1.0, reads=["x"], writes=["x"])
+        assert tr.timeline.makespan == pytest.approx(4.0)
+
+    def test_wavefront_region(self):
+        ctx = ctx_with(nthreads=16)
+        n = 4
+        with ctx.task_region() as tr:
+            for i in range(n):
+                for j in range(n):
+                    tr.task(
+                        lambda: 1.0,
+                        item=(i, j),
+                        reads=[(i - 1, j), (i, j - 1)],
+                        writes=[(i, j)],
+                    )
+        assert tr.timeline.makespan == pytest.approx(2 * n - 1)
+
+    def test_clock_resumes_after_region(self):
+        ctx = ctx_with(nthreads=2)
+        ctx.advance_clock(5.0)
+        with ctx.task_region() as tr:
+            tr.task(lambda: 1.0)
+        assert ctx.vclock == pytest.approx(6.0)
+        assert all(e.start >= 5.0 for e in tr.timeline)
+
+    def test_double_close_rejected(self):
+        ctx = ctx_with()
+        tr = ctx.task_region()
+        with tr:
+            tr.task(lambda: 1.0)
+        with pytest.raises(DependencyError):
+            tr.close()
+
+    def test_submit_after_close_rejected(self):
+        ctx = ctx_with()
+        with ctx.task_region() as tr:
+            pass
+        with pytest.raises(DependencyError):
+            tr.task(lambda: 1.0)
+
+    def test_exception_skips_simulation(self):
+        ctx = ctx_with()
+        before = ctx.vclock
+        with pytest.raises(RuntimeError):
+            with ctx.task_region() as tr:
+                tr.task(lambda: 1.0)
+                raise RuntimeError("student bug")
+        assert ctx.vclock == before  # no partial timeline committed
+
+    def test_region_log_records_dag(self):
+        ctx = ctx_with()
+        ctx.region_log = []
+        with ctx.task_region() as tr:
+            a = tr.task(lambda: 2.0, writes=["x"])
+            tr.task(lambda: 3.0, reads=["x"])
+        kind, works, preds = ctx.region_log[-1]
+        assert kind == "dag"
+        assert works == [2.0, 3.0]
+        assert preds == [[], [a]]
+
+    def test_monitor_and_trace_fed(self):
+        ctx = ctx_with(monitoring=True, trace=True)
+        for _ in ctx.iterations(1):
+            with ctx.task_region(kind="task_dr") as tr:
+                tr.task(lambda: 1.0, item=ctx.grid[0])
+        assert ctx.monitor.records[0].ntasks == 1
+        assert ctx.tracer.events[0].kind == "task_dr"

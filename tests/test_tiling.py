@@ -1,0 +1,138 @@
+"""Tests for repro.core.tiling — incl. the partition invariant (property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tiling import Tile, TileGrid
+from repro.errors import ConfigError
+
+
+class TestTileGrid:
+    def test_exact_division(self):
+        g = TileGrid(64, 16)
+        assert g.rows == g.cols == 4
+        assert len(g) == 16
+        assert all(t.w == 16 and t.h == 16 for t in g)
+
+    def test_clipped_edge_tiles(self):
+        g = TileGrid(50, 16)
+        assert g.cols == 4  # 16+16+16+2
+        last = g.at(0, 3)
+        assert last.w == 2
+        bottom = g.at(3, 0)
+        assert bottom.h == 2
+
+    def test_collapse2_row_major_order(self):
+        g = TileGrid(48, 16)
+        indices = [(t.row, t.col) for t in g]
+        assert indices == [(r, c) for r in range(3) for c in range(3)]
+        assert [t.index for t in g] == list(range(9))
+
+    def test_rectangular_tiles(self):
+        g = TileGrid(64, 32, 8)
+        assert g.cols == 2 and g.rows == 8
+        t = g.at(1, 1)
+        assert (t.w, t.h) == (32, 8)
+        assert (t.x, t.y) == (32, 8)
+
+    def test_at_bounds(self):
+        g = TileGrid(32, 16)
+        with pytest.raises(ConfigError):
+            g.at(2, 0)
+        with pytest.raises(ConfigError):
+            g.at(0, -1)
+
+    def test_tile_of_pixel(self):
+        g = TileGrid(64, 16)
+        t = g.tile_of_pixel(17, 40)
+        assert (t.row, t.col) == (1, 2)
+        assert t.contains(17, 40)
+        with pytest.raises(ConfigError):
+            g.tile_of_pixel(64, 0)
+
+    def test_by_rows(self):
+        g = TileGrid(48, 16)
+        rows = list(g.by_rows())
+        assert len(rows) == 3
+        assert all(len(r) == 3 for r in rows)
+        assert all(t.row == i for i, r in enumerate(rows) for t in r)
+
+    def test_border_and_inner_partition(self):
+        g = TileGrid(64, 16)
+        border = {t.index for t in g.border_tiles()}
+        inner = {t.index for t in g.inner_tiles()}
+        assert border | inner == set(range(len(g)))
+        assert not border & inner
+        assert len(inner) == 4  # the 2x2 middle of a 4x4 grid
+
+    def test_all_border_when_thin(self):
+        g = TileGrid(32, 16)  # 2x2 grid: everything touches the border
+        assert g.inner_tiles() == []
+        assert len(g.border_tiles()) == 4
+
+    def test_neighbours_4(self):
+        g = TileGrid(48, 16)
+        mid = g.at(1, 1)
+        n4 = {(t.row, t.col) for t in g.neighbours(mid)}
+        assert n4 == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_neighbours_8_corner(self):
+        g = TileGrid(48, 16)
+        corner = g.at(0, 0)
+        n8 = {(t.row, t.col) for t in g.neighbours(corner, diagonal=True)}
+        assert n8 == {(0, 1), (1, 0), (1, 1)}
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            TileGrid(0, 4)
+        with pytest.raises(ConfigError):
+            TileGrid(32, 0)
+        with pytest.raises(ConfigError):
+            TileGrid(16, 32)
+
+    def test_as_rect(self):
+        t = Tile(x=8, y=16, w=4, h=2, row=8, col=2, index=0)
+        assert t.as_rect() == (8, 16, 4, 2)
+        assert t.area == 8
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dim=st.integers(min_value=1, max_value=200),
+    tw=st.integers(min_value=1, max_value=200),
+    th=st.integers(min_value=1, max_value=200),
+)
+def test_tiles_partition_image(dim, tw, th):
+    """Property: tiles cover every pixel exactly once, for any geometry."""
+    if tw > dim or th > dim:
+        with pytest.raises(ConfigError):
+            TileGrid(dim, tw, th)
+        return
+    g = TileGrid(dim, tw, th)
+    assert g.coverage_ok()
+    seen = [[0] * dim for _ in range(dim)]
+    for t in g:
+        for y in range(t.y, t.y + t.h):
+            row = seen[y]
+            for x in range(t.x, t.x + t.w):
+                row[x] += 1
+    assert all(v == 1 for row in seen for v in row)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dim=st.integers(min_value=2, max_value=128),
+    tile=st.integers(min_value=1, max_value=64),
+    y=st.integers(min_value=0, max_value=127),
+    x=st.integers(min_value=0, max_value=127),
+)
+def test_tile_of_pixel_consistent(dim, tile, y, x):
+    """Property: tile_of_pixel agrees with Tile.contains."""
+    if tile > dim or y >= dim or x >= dim:
+        return
+    g = TileGrid(dim, tile)
+    t = g.tile_of_pixel(y, x)
+    assert t.contains(y, x)
+    others = [o for o in g if o.index != t.index]
+    assert not any(o.contains(y, x) for o in others)

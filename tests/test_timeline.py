@@ -1,0 +1,114 @@
+"""Tests for the Timeline data model and its analysis helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sched.timeline import TaskExec, Timeline
+
+
+def mk(item, cpu, start, end, **meta):
+    return TaskExec(item, cpu, start, end, meta)
+
+
+class TestBasics:
+    def test_empty(self):
+        tl = Timeline()
+        assert tl.makespan == 0.0
+        assert len(tl) == 0
+        assert tl.busy_per_cpu() == []
+
+    def test_ncpus_inferred(self):
+        tl = Timeline([mk("a", 2, 0, 1)])
+        assert tl.ncpus == 3
+
+    def test_append_extends_ncpus(self):
+        tl = Timeline(ncpus=1)
+        tl.append(mk("a", 4, 0, 1))
+        assert tl.ncpus == 5
+
+    def test_makespan_and_busy(self):
+        tl = Timeline([mk("a", 0, 0, 2), mk("b", 1, 0, 1), mk("c", 1, 1, 4)])
+        assert tl.makespan == 4.0
+        assert tl.busy_per_cpu() == [2.0, 4.0]
+        assert tl.total_work() == 6.0
+
+    def test_duration(self):
+        assert mk("x", 0, 1.5, 4.0).duration == 2.5
+
+
+class TestMetrics:
+    def test_load_percent(self):
+        tl = Timeline([mk("a", 0, 0, 4), mk("b", 1, 0, 2)], ncpus=2)
+        assert tl.load_percent() == pytest.approx([100.0, 50.0])
+
+    def test_load_percent_custom_span(self):
+        tl = Timeline([mk("a", 0, 0, 2)], ncpus=1)
+        assert tl.load_percent(span=8.0) == pytest.approx([25.0])
+
+    def test_idle_and_cumulated_idleness(self):
+        tl = Timeline([mk("a", 0, 0, 4), mk("b", 1, 0, 1)], ncpus=2)
+        assert tl.idle_time() == pytest.approx([0.0, 3.0])
+        assert tl.cumulated_idleness() == pytest.approx(3.0)
+
+    def test_imbalance(self):
+        balanced = Timeline([mk("a", 0, 0, 2), mk("b", 1, 0, 2)], ncpus=2)
+        assert balanced.imbalance() == pytest.approx(1.0)
+        skewed = Timeline([mk("a", 0, 0, 3), mk("b", 1, 0, 1)], ncpus=2)
+        assert skewed.imbalance() == pytest.approx(1.5)
+
+    def test_speedup_vs(self):
+        tl = Timeline([mk("a", 0, 0, 2)], ncpus=1)
+        assert tl.speedup_vs(8.0) == pytest.approx(4.0)
+
+
+class TestStructure:
+    def test_lanes_sorted(self):
+        tl = Timeline([mk("b", 0, 2, 3), mk("a", 0, 0, 1), mk("c", 1, 0, 2)])
+        lanes = tl.lanes()
+        assert [e.item for e in lanes[0]] == ["a", "b"]
+        assert [e.item for e in lanes[1]] == ["c"]
+
+    def test_assignment(self):
+        tl = Timeline([mk("a", 0, 0, 1), mk("b", 1, 0, 1)])
+        assert tl.assignment() == {"a": 0, "b": 1}
+
+    def test_items_of_cpu_execution_order(self):
+        tl = Timeline([mk("late", 0, 5, 6), mk("early", 0, 0, 1)])
+        assert tl.items_of_cpu(0) == ["early", "late"]
+
+    def test_filtered(self):
+        tl = Timeline([mk("a", 0, 0, 1, it=1), mk("b", 0, 1, 2, it=2)])
+        sub = tl.filtered(lambda e: e.meta["it"] == 2)
+        assert len(sub) == 1 and sub.execs[0].item == "b"
+
+    def test_shifted(self):
+        tl = Timeline([mk("a", 0, 1, 2)])
+        sh = tl.shifted(10.0)
+        assert sh.execs[0].start == 11.0 and sh.execs[0].end == 12.0
+        # original untouched
+        assert tl.execs[0].start == 1.0
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        tl = Timeline([mk("a", 0, 0, 1), mk("b", 0, 1, 2), mk("c", 1, 0.5, 1.5)])
+        tl.validate()
+
+    def test_overlap_on_same_cpu_rejected(self):
+        tl = Timeline([mk("a", 0, 0, 2), mk("b", 0, 1, 3)])
+        with pytest.raises(SimulationError):
+            tl.validate()
+
+    def test_negative_interval_rejected(self):
+        tl = Timeline([mk("a", 0, 2, 1)])
+        with pytest.raises(SimulationError):
+            tl.validate()
+
+    def test_negative_start_rejected(self):
+        tl = Timeline([mk("a", 0, -1, 1)])
+        with pytest.raises(SimulationError):
+            tl.validate()
+
+    def test_overlap_on_distinct_cpus_allowed(self):
+        tl = Timeline([mk("a", 0, 0, 2), mk("b", 1, 0, 2)])
+        tl.validate()

@@ -1,0 +1,183 @@
+"""Tests for EASYVIEW analysis: Gantt, coverage, comparison, stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run
+from repro.trace.compare import TraceComparison, match_tiles
+from repro.trace.coverage import coverage_counts, coverage_mask, locality_score, mean_spread
+from repro.trace.events import Trace, TraceEvent, TraceMeta
+from repro.trace.gantt import GanttChart
+from repro.trace.stats import (
+    DurationStats,
+    duration_stats,
+    iteration_spans,
+    per_cpu_busy,
+    task_imbalance,
+)
+from tests.conftest import make_config
+
+
+def ev(it=1, cpu=0, start=0.0, end=1.0, **kw):
+    return TraceEvent(iteration=it, cpu=cpu, start=start, end=end, **kw)
+
+
+def traced_run(**kw):
+    base = dict(kernel="mandel", variant="omp_tiled", dim=64, tile_w=16,
+                tile_h=16, iterations=3, nthreads=4, trace=True)
+    base.update(kw)
+    return run(make_config(**base))
+
+
+class TestGantt:
+    def test_lanes_and_span(self):
+        t = Trace(TraceMeta(ncpus=2), [ev(cpu=0, start=0, end=1),
+                                       ev(cpu=1, start=0.5, end=2)])
+        g = GanttChart(t)
+        assert g.span == pytest.approx(2.0)
+        lanes = g.lanes()
+        assert len(lanes[0]) == 1 and len(lanes[1]) == 1
+
+    def test_iteration_range_selection(self):
+        r = traced_run()
+        g_all = GanttChart(r.trace)
+        g_one = GanttChart(r.trace, 2, 2)
+        assert len(g_one.events) < len(g_all.events)
+        assert {e.iteration for e in g_one.events} == {2}
+
+    def test_tasks_at_time_vertical_mouse(self):
+        t = Trace(TraceMeta(ncpus=2), [ev(cpu=0, start=0, end=1, x=0, y=0, w=4, h=4),
+                                       ev(cpu=1, start=0.5, end=2, x=4, y=0, w=4, h=4)])
+        g = GanttChart(t)
+        hits = g.tasks_at_time(0.75)
+        assert len(hits) == 2
+        assert len(g.tasks_at_time(1.5)) == 1
+        assert g.tiles_at_time(0.75) == [(0, 0, 4, 4), (4, 0, 4, 4)]
+
+    def test_task_at_horizontal_mouse(self):
+        t = Trace(TraceMeta(ncpus=1), [ev(start=0, end=1), ev(start=2, end=3)])
+        g = GanttChart(t)
+        assert g.task_at(0, 0.5).end == 1
+        assert g.task_at(0, 1.5) is None
+
+    def test_ascii_render(self):
+        r = traced_run()
+        text = GanttChart(r.trace).to_ascii(width=40)
+        lines = text.splitlines()
+        assert len([l for l in lines if l.startswith("CPU")]) == 4
+        assert "#" in text
+
+    def test_empty_ascii(self):
+        assert "empty" in GanttChart(Trace()).to_ascii()
+
+    def test_svg_contains_tasks_and_tooltips(self):
+        r = traced_run()
+        svg = GanttChart(r.trace).to_svg().tostring()
+        assert svg.count("<rect") > len(r.trace.events)  # tasks + lanes
+        assert "<title>" in svg and "tile(" in svg
+        assert "mandel" in svg
+
+
+class TestCoverage:
+    def test_mask_covers_cpu_tiles(self):
+        r = traced_run(nthreads=2)
+        m0 = coverage_mask(r.trace, 0, 64)
+        m1 = coverage_mask(r.trace, 1, 64)
+        assert (m0 | m1).all()  # two CPUs covered everything together
+
+    def test_counts_sum_to_iterations(self):
+        r = traced_run(iterations=3)
+        counts = coverage_counts(r.trace, 64)
+        assert counts.sum(axis=0).min() == 3
+        assert counts.sum(axis=0).max() == 3
+
+    def test_static_more_local_than_dynamic(self):
+        """The Fig. 10 locality observation, quantified."""
+        stat = traced_run(schedule="static", dim=128, iterations=4)
+        dyn = traced_run(schedule="dynamic", dim=128, iterations=4)
+        assert locality_score(stat.trace) < locality_score(dyn.trace)
+
+    def test_mean_spread_zero_for_single_tile(self):
+        t = Trace(TraceMeta(ncpus=1, dim=64),
+                  [ev(x=0, y=0, w=16, h=16)])
+        assert mean_spread(t, 0) == 0.0
+
+    def test_spread_empty_cpu(self):
+        t = Trace(TraceMeta(ncpus=2, dim=64), [ev(cpu=0, x=0, y=0, w=4, h=4)])
+        assert mean_spread(t, 1) == 0.0
+
+
+class TestStats:
+    def test_duration_stats_values(self):
+        s = DurationStats.of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.total == 10.0
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.vmin == 1.0 and s.vmax == 4.0
+
+    def test_empty_stats(self):
+        s = DurationStats.of([])
+        assert s.count == 0 and s.total == 0.0
+
+    def test_kind_filter(self):
+        t = Trace(TraceMeta(), [ev(kind="tile"), ev(kind="ghost", start=0, end=5)])
+        assert duration_stats(t, kind="tile").count == 1
+        assert duration_stats(t, kind=None).count == 2
+
+    def test_iteration_spans(self):
+        t = Trace(TraceMeta(), [ev(it=1, start=0, end=2), ev(it=1, start=1, end=3),
+                                ev(it=2, start=3, end=4)])
+        spans = iteration_spans(t)
+        assert spans == {1: 3.0, 2: 1.0}
+
+    def test_per_cpu_busy_and_imbalance(self):
+        t = Trace(TraceMeta(ncpus=2), [ev(cpu=0, start=0, end=3), ev(cpu=1, start=0, end=1)])
+        assert per_cpu_busy(t) == [3.0, 1.0]
+        assert task_imbalance(t) == pytest.approx(1.5)
+
+
+class TestComparison:
+    def _pair(self):
+        basic = run(make_config(kernel="blur", variant="omp_tiled", dim=64,
+                                tile_w=8, tile_h=8, iterations=2, nthreads=4,
+                                trace=True))
+        opt = run(make_config(kernel="blur", variant="omp_tiled_opt", dim=64,
+                              tile_w=8, tile_h=8, iterations=2, nthreads=4,
+                              trace=True))
+        return basic.trace, opt.trace
+
+    def test_match_tiles_pairs_by_rectangle(self):
+        a, b = self._pair()
+        pairs = match_tiles(a, b, 1)
+        assert len(pairs) == 64
+        assert all(
+            (ea.x, ea.y, ea.w, ea.h) == (eb.x, eb.y, eb.w, eb.h) for ea, eb in pairs
+        )
+
+    def test_overall_factor_matches_fig10(self):
+        a, b = self._pair()
+        cmp_ = TraceComparison(a, b)
+        assert 1.8 < cmp_.overall_factor() < 4.5
+
+    def test_inner_tiles_8x_faster(self):
+        a, b = self._pair()
+        cmp_ = TraceComparison(a, b)
+        frac = cmp_.faster_tile_fraction(7.5)
+        # 6x6 inner tiles out of 8x8 grid
+        assert frac == pytest.approx(36 / 64, abs=0.05)
+
+    def test_speedup_quantiles_ordered(self):
+        a, b = self._pair()
+        med, p90 = TraceComparison(a, b).speedup_quantiles()
+        assert p90 >= med > 1.0
+
+    def test_report_mentions_key_numbers(self):
+        a, b = self._pair()
+        text = TraceComparison(a, b).report()
+        assert "overall speedup" in text and "per-tile speedup" in text
+
+    def test_comparison_svg(self):
+        a, b = self._pair()
+        svg = TraceComparison(a, b).to_svg().tostring()
+        assert svg.count("<svg") >= 3  # container + two stacked charts

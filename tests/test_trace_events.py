@@ -1,0 +1,88 @@
+"""Tests for the trace data model."""
+
+import pytest
+
+from repro.trace.events import Trace, TraceEvent, TraceMeta
+
+
+def ev(it=1, cpu=0, start=0.0, end=1.0, **kw):
+    return TraceEvent(iteration=it, cpu=cpu, start=start, end=end, **kw)
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        assert ev(start=1.0, end=3.5).duration == 2.5
+
+    def test_has_tile(self):
+        assert not ev().has_tile
+        assert ev(x=0, y=0, w=4, h=4).has_tile
+
+    def test_dict_roundtrip(self):
+        e = ev(x=3, y=4, w=5, h=6, kind="task", extra={"stolen": True})
+        assert TraceEvent.from_dict(e.to_dict()) == e
+
+    def test_to_dict_drops_empty_extra(self):
+        assert "extra" not in ev().to_dict()
+
+    def test_from_dict_defaults(self):
+        e = TraceEvent.from_dict({"iteration": 1, "cpu": 0, "start": 0, "end": 1})
+        assert e.x == -1 and e.kind == "tile" and e.extra == {}
+
+
+class TestTraceMeta:
+    def test_roundtrip(self):
+        m = TraceMeta(kernel="mandel", variant="omp", dim=64, ncpus=4,
+                      schedule="dynamic")
+        again = TraceMeta.from_dict(m.to_dict())
+        assert again == m
+
+    def test_ignores_unknown_keys(self):
+        m = TraceMeta.from_dict({"kernel": "x", "future_field": 1})
+        assert m.kernel == "x"
+
+
+class TestTrace:
+    def _trace(self):
+        return Trace(
+            TraceMeta(ncpus=2),
+            [
+                ev(it=1, cpu=0, start=0, end=1),
+                ev(it=1, cpu=1, start=0, end=2),
+                ev(it=2, cpu=0, start=2, end=3),
+                ev(it=3, cpu=1, start=3, end=4),
+            ],
+        )
+
+    def test_len_iter(self):
+        t = self._trace()
+        assert len(t) == 4
+        assert len(list(t)) == 4
+
+    def test_iterations_sorted_unique(self):
+        assert self._trace().iterations == [1, 2, 3]
+
+    def test_duration(self):
+        assert self._trace().duration == 4.0
+
+    def test_iteration_events(self):
+        assert len(self._trace().iteration_events(1)) == 2
+        assert self._trace().iteration_events(9) == []
+
+    def test_iteration_range(self):
+        assert len(self._trace().iteration_range(1, 2)) == 3
+
+    def test_cpu_events_sorted(self):
+        t = Trace(TraceMeta(ncpus=1), [ev(start=5, end=6), ev(start=0, end=1)])
+        starts = [e.start for e in t.cpu_events(0)]
+        assert starts == [0, 5]
+
+    def test_ncpus_from_meta_or_events(self):
+        assert self._trace().ncpus == 2
+        t = Trace(TraceMeta(), [ev(cpu=5)])
+        assert t.ncpus == 6
+
+    def test_sorted_copy(self):
+        t = Trace(TraceMeta(), [ev(start=5, end=6), ev(start=0, end=1)])
+        s = t.sorted()
+        assert [e.start for e in s] == [0, 5]
+        assert [e.start for e in t] == [5, 0]  # original untouched

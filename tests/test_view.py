@@ -1,0 +1,162 @@
+"""Tests for the rendering layer: ASCII windows, SVG, PPM, colors."""
+
+import numpy as np
+import pytest
+
+from repro.core.image import rgb
+from repro.monitor.records import IterationRecord
+from repro.view.ascii import (
+    render_activity,
+    render_heatmap,
+    render_idleness_history,
+    render_tiling,
+)
+from repro.view.colors import cpu_color, cpu_palette, heat_color, heat_image
+from repro.view.ppm import load_ppm, packed_to_rgb, save_pgm, save_ppm
+from repro.view.svg import SvgCanvas
+from repro.view.thumbnail import heat_tile_image, thumbnail, tiling_image
+from repro.errors import ConfigError
+
+
+class TestColors:
+    def test_cpu_colors_distinct(self):
+        pal = cpu_palette(8)
+        assert len(set(pal)) == 8
+
+    def test_uncomputed_is_dark(self):
+        assert cpu_color(-1) == (40, 40, 40)
+
+    def test_wraps(self):
+        assert cpu_color(0) == cpu_color(16)
+
+    def test_heat_ramp_monotone_brightness(self):
+        lows = heat_color(0.1, 1.0)
+        highs = heat_color(0.9, 1.0)
+        assert sum(highs) > sum(lows)
+        assert heat_color(5.0, 0.0) == (0, 0, 0)
+
+    def test_heat_image_shape(self):
+        img = heat_image(np.array([[0.0, 1.0]]))
+        assert img.shape == (1, 2, 3)
+        assert img.dtype == np.uint8
+        assert img[0, 1].sum() > img[0, 0].sum()
+
+
+class TestAscii:
+    def test_tiling_glyphs(self):
+        tiling = np.array([[0, 1], [-1, 2]])
+        out = render_tiling(tiling)
+        assert out.splitlines() == ["01", ".2"]
+
+    def test_tiling_stolen_uppercase(self):
+        tiling = np.array([[10, 10]])  # glyph 'a'
+        stolen = np.array([[False, True]])
+        assert render_tiling(tiling, stolen) == "aA"
+
+    def test_heatmap_brightness(self):
+        heat = np.array([[0.0, 0.5, 1.0]])
+        out = render_heatmap(heat)
+        assert len(out) == 3
+        assert out[0] == " " and out[2] == "@"
+
+    def test_heatmap_all_zero(self):
+        assert set(render_heatmap(np.zeros((2, 2)))) <= {" ", "\n"}
+
+    def test_activity_bars(self):
+        rec = IterationRecord(iteration=3, span=2.0, busy=[2.0, 1.0],
+                              tiling=np.zeros((1, 1)), heat=np.zeros((1, 1)),
+                              stolen=np.zeros((1, 1), dtype=bool))
+        out = render_activity(rec, width=10)
+        assert "iteration 3" in out
+        assert "CPU  0 [##########] 100.0%" in out
+        assert "CPU  1 [#####-----]  50.0%" in out
+
+    def test_idleness_history(self):
+        out = render_idleness_history([0.1, 0.2, 0.4], width=10, height=4)
+        assert "cumulated idleness" in out
+        assert render_idleness_history([]) == "(no iterations recorded)"
+
+
+class TestSvg:
+    def test_structure(self):
+        svg = SvgCanvas(100, 50)
+        svg.rect(0, 0, 10, 10, fill="#ff0000")
+        svg.line(0, 0, 5, 5)
+        svg.text(1, 1, "héllo <world>")
+        svg.circle(3, 3, 1, fill="#000")
+        svg.polyline([(0, 0), (1, 1)], stroke="#00f")
+        out = svg.tostring()
+        assert out.startswith("<svg")
+        assert out.rstrip().endswith("</svg>")
+        assert "&lt;world&gt;" in out  # escaped
+        assert "<circle" in out and "<polyline" in out
+
+    def test_title_tooltip(self):
+        svg = SvgCanvas(10, 10)
+        svg.rect(0, 0, 1, 1, title="42 us")
+        assert "<title>42 us</title>" in svg.tostring()
+
+    def test_save(self, tmp_path):
+        p = SvgCanvas(10, 10).save(tmp_path / "x" / "a.svg")
+        assert p.exists()
+        assert p.read_text().startswith("<svg")
+
+
+class TestPpm:
+    def test_packed_roundtrip(self, tmp_path):
+        img = np.full((4, 6), rgb(10, 20, 30), dtype=np.uint32)
+        p = save_ppm(img, tmp_path / "a.ppm")
+        back = load_ppm(p)
+        assert back.shape == (4, 6, 3)
+        assert (back == [10, 20, 30]).all()
+
+    def test_rgb_array_roundtrip(self, tmp_path):
+        rgb_arr = np.random.default_rng(1).integers(0, 255, (5, 7, 3)).astype(np.uint8)
+        back = load_ppm(save_ppm(rgb_arr, tmp_path / "b.ppm"))
+        assert np.array_equal(back, rgb_arr)
+
+    def test_bad_shape(self, tmp_path):
+        with pytest.raises(ConfigError):
+            save_ppm(np.zeros((2, 2, 4)), tmp_path / "c.ppm")
+
+    def test_pgm(self, tmp_path):
+        p = save_pgm(np.array([[0.0, 1.0], [0.5, 0.25]]), tmp_path / "g.pgm")
+        data = p.read_bytes()
+        assert data.startswith(b"P5")
+        assert data[-4:] == bytes([0, 255, 127, 63])
+
+    def test_load_rejects_non_ppm(self, tmp_path):
+        p = tmp_path / "x.ppm"
+        p.write_bytes(b"GIF89a")
+        with pytest.raises(ConfigError):
+            load_ppm(p)
+
+    def test_packed_to_rgb(self):
+        arr = np.array([[rgb(1, 2, 3)]], dtype=np.uint32)
+        assert packed_to_rgb(arr).tolist() == [[[1, 2, 3]]]
+
+
+class TestThumbnails:
+    def test_thumbnail_downsamples(self):
+        img = np.zeros((256, 256), dtype=np.uint32)
+        th = thumbnail(img, max_side=64)
+        assert max(th.shape[:2]) <= 64
+        assert th.shape[2] == 3
+
+    def test_thumbnail_small_image_unchanged_size(self):
+        img = np.zeros((16, 16), dtype=np.uint32)
+        th = thumbnail(img, max_side=64)
+        assert th.shape[:2] == (16, 16)
+
+    def test_tiling_image_colors(self):
+        tiling = np.array([[0, -1]])
+        img = tiling_image(tiling, cell=4)
+        assert img.shape == (4, 8, 3)
+        assert tuple(img[0, 0]) == cpu_color(0)
+        assert tuple(img[0, 7]) == cpu_color(-1)
+
+    def test_heat_tile_image(self):
+        heat = np.array([[0.0, 1.0]])
+        img = heat_tile_image(heat, cell=2)
+        assert img.shape == (2, 4, 3)
+        assert img[0, 3].sum() > img[0, 0].sum()

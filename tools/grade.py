@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Grade a kernel variant against the rubric.
+
+Usage:
+    python tools/grade.py --kernel mandel --variant omp_tiled
+    python tools/grade.py -k blur -v omp_tiled_opt --min-speedup 0.4
+
+Exit status 0 iff every rubric check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import EasypapError
+from repro.expt.grading import grade_variant
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("-k", "--kernel", required=True)
+    p.add_argument("-v", "--variant", required=True)
+    p.add_argument("-a", "--arg", default=None)
+    p.add_argument("--tile", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--min-speedup", type=float, default=0.5,
+                   help="required speedup per thread (efficiency floor)")
+    args = p.parse_args(argv)
+    try:
+        report = grade_variant(
+            args.kernel,
+            args.variant,
+            tile=args.tile,
+            iterations=args.iterations,
+            min_speedup_per_thread=args.min_speedup,
+            arg=args.arg,
+        )
+    except EasypapError as exc:
+        print(f"grade: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
