@@ -12,13 +12,11 @@ monotone increase (pure overhead) for the no-op ``none`` kernel; and a
 zero-overhead counterfactual in which the smallest tiles always win.
 """
 
+from _common import fmt_table, report
+
 from repro.core.config import RunConfig
 from repro.core.engine import run
-from repro.expt.replay import WorkProfileCache, capture_log, replay_log
-from repro.sched.costmodel import DEFAULT_COST_MODEL
-from repro.sched.policies import parse_schedule
-
-from _common import fmt_table, report
+from repro.expt.replay import capture_log, replay_log
 
 GRAINS = [4, 8, 16, 32, 64, 128]
 

@@ -7,12 +7,12 @@ imbalanced work while issuing far fewer (more expensive) steal
 operations; on balanced work neither steals at all.
 """
 
+from _common import fmt_table, report
+
 from repro.core.config import RunConfig
-from repro.expt.replay import capture_log, replay_log
+from repro.expt.replay import capture_log
 from repro.sched.policies import NonMonotonicDynamic
 from repro.sched.simulator import simulate
-
-from _common import fmt_table, report
 
 
 def run_abl2():

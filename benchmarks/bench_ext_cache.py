@@ -11,6 +11,8 @@ accesses; this bench explores two textbook effects:
     as tiles shrink.
 """
 
+from _common import fmt_table, report
+
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.monitor.cache import (
@@ -19,8 +21,6 @@ from repro.monitor.cache import (
     stencil_access_pattern,
     transpose_access_pattern,
 )
-
-from _common import fmt_table, report
 
 DIM = 128
 

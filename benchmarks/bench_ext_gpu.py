@@ -13,13 +13,12 @@ work-group size.
 """
 
 import numpy as np
+from _common import fmt_table, report
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.gpu.device import DeviceSpec, GpuDevice
 from repro.kernels.mandel import mandel_counts
-
-from _common import fmt_table, report
 
 
 def run_ext2():

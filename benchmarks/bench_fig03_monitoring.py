@@ -6,13 +6,12 @@ in-set area concentrates work on a few threads), and the idleness
 history grows; the Tiling window shows contiguous per-thread blocks.
 """
 
-import numpy as np
+
+from _common import fmt_table, report
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_activity, render_idleness_history, render_tiling
-
-from _common import fmt_table, report
 
 CFG = dict(kernel="mandel", variant="omp_tiled", dim=256, tile_w=16,
            tile_h=16, iterations=4, nthreads=4, monitoring=True, arg="128")

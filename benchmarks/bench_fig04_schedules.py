@@ -9,6 +9,7 @@ Paper claims (Fig. 4):
 """
 
 import numpy as np
+from _common import fmt_table, report
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
@@ -16,8 +17,6 @@ from repro.sched.costmodel import DEFAULT_COST_MODEL
 from repro.sched.policies import parse_schedule
 from repro.sched.simulator import simulate
 from repro.view.ascii import render_tiling
-
-from _common import fmt_table, report
 
 CFG = dict(kernel="mandel", variant="omp_tiled", dim=256, tile_w=32,
            tile_h=32, iterations=1, nthreads=4, monitoring=True, arg="128")

@@ -15,10 +15,10 @@ Scaled here to dim 256 / max_iter 128 / runs=3, with work-profile reuse
 (replayed results are bit-identical to full runs — see tests/test_replay.py).
 """
 
+from _common import fmt_table, report
+
 from repro.expt.csvdb import read_rows, unique_values
 from repro.expt.exptools import execute
-
-from _common import fmt_table, report
 
 
 def run_sweep(csv_path):

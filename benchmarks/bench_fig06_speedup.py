@@ -15,13 +15,13 @@ through the expTools + easyplot pipeline (work-profile replay) exactly
 as a student would drive it.
 """
 
+from _common import report, OUT_DIR
+
 from repro.cli import config_from_args, parse_args
 from repro.core.engine import run
 from repro.expt.easyplot import build_plot
 from repro.expt.exptools import execute
 from repro.expt.plotting import render_svg, render_text
-
-from _common import report, OUT_DIR
 
 SCHEDULES = ["static", "guided", "dynamic,2", "nonmonotonic:dynamic"]
 THREADS = list(range(2, 13, 2))

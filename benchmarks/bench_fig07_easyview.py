@@ -10,12 +10,12 @@ exercise the two mouse-query modes, and emit the SVG with hover
 tooltips.
 """
 
+from _common import report, OUT_DIR
+
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.trace.gantt import GanttChart
 from repro.view.thumbnail import thumbnail
-
-from _common import report, OUT_DIR
 
 CFG = RunConfig(kernel="mandel", variant="omp_tiled", dim=256, tile_w=32,
                 tile_h=32, iterations=10, nthreads=4, schedule="dynamic",

@@ -11,12 +11,11 @@ Paper claims, for mandel under OpenMP dynamic scheduling of small tiles:
 """
 
 import numpy as np
+from _common import report
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_tiling
-
-from _common import report
 
 CFG = RunConfig(kernel="mandel", variant="omp_tiled", dim=256, tile_w=8,
                 tile_h=8, iterations=2, nthreads=4, schedule="dynamic",

@@ -7,14 +7,13 @@ Paper claims: with brightness proportional to task duration,
 """
 
 import numpy as np
+from _common import report, OUT_DIR
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_heatmap
 from repro.view.ppm import save_ppm
 from repro.view.thumbnail import heat_tile_image
-
-from _common import report, OUT_DIR
 
 
 def run_fig9():

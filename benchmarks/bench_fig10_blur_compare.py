@@ -16,13 +16,12 @@ vectorized gap that motivates those constants.
 import time
 
 import numpy as np
+from _common import report, OUT_DIR
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.kernels.blur import blur_rect_scalar, blur_rect_vectorized
 from repro.trace.compare import TraceComparison
-
-from _common import report, OUT_DIR
 
 CFG = dict(kernel="blur", dim=512, tile_w=32, tile_h=32, iterations=3,
            nthreads=4, trace=True, seed=11)

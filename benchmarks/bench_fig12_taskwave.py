@@ -9,7 +9,8 @@ Paper claims:
     execution — visible immediately in the Gantt chart.
 """
 
-import numpy as np
+
+from _common import fmt_table, report, OUT_DIR
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
@@ -17,8 +18,6 @@ from repro.sched.costmodel import CostModel
 from repro.sched.dag_sim import simulate_dag
 from repro.sched.taskgraph import TaskGraph
 from repro.trace.gantt import GanttChart
-
-from _common import fmt_table, report, OUT_DIR
 
 CFG = RunConfig(kernel="cc", variant="omp_task", dim=256, tile_w=32,
                 tile_h=32, iterations=8, nthreads=8, trace=True, seed=4)

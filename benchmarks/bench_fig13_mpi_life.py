@@ -9,12 +9,11 @@ on the sparse diagonal-planers dataset:
 """
 
 import numpy as np
+from _common import fmt_table, report
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_tiling
-
-from _common import fmt_table, report
 
 CFG = RunConfig(kernel="life", variant="mpi_omp", dim=256, tile_w=16,
                 tile_h=16, iterations=8, nthreads=4, arg="diag", mpi_np=2,

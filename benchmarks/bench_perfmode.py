@@ -15,10 +15,10 @@ Absolute milliseconds are cost-model calibration, not a claim; the
 import io
 from contextlib import redirect_stdout
 
+from _common import report
+
 from repro.cli import main as easypap_main
 from repro.expt.csvdb import read_rows
-
-from _common import report
 
 
 def run_perf(tmp_csv):

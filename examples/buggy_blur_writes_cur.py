@@ -1,0 +1,41 @@
+"""Seeded-buggy example: a blur that writes ``cur`` instead of ``next``.
+
+The kernel ``blur_buggy`` overrides the tiled blur body to blur each
+tile *in place*: it reads the 3x3 halo from ``cur`` and writes the
+result back into ``cur``, instead of into ``next`` followed by a swap.
+Concurrent tiles of the same ``parallel_for`` then read boundary rows
+that a neighbouring tile is overwriting — the classic double-buffer
+bug of the stencil assignment.
+
+``easypap --load examples/buggy_blur_writes_cur.py -k blur_buggy
+--check-races`` reports the read-write races on ``cur`` plus a
+``double-buffer`` lint finding telling the student to write into the
+paired buffer and swap.
+"""
+
+from repro.core.kernel import register_kernel, variant
+from repro.kernels.api import SCALAR_PIXEL_WORK, halo_region
+from repro.kernels.blur import BlurKernel, blur_rect_vectorized
+
+
+@register_kernel
+class BuggyBlurKernel(BlurKernel):
+    """Kernel ``blur_buggy``: tiled blur missing the double buffer."""
+
+    name = "blur_buggy"
+
+    def _do_tile_writes_cur(self, ctx, tile) -> float:
+        x, y, w, h = tile.as_rect()
+        ctx.declare_access(
+            reads=[halo_region("cur", x, y, w, h, ctx.dim)],
+            writes=[("cur", x, y, w, h)],  # BUG: should write "next"
+        )
+        blur_rect_vectorized(ctx.img.cur, ctx.img.cur, x, y, w, h)
+        return tile.area * SCALAR_PIXEL_WORK
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(lambda t: self._do_tile_writes_cur(ctx, t))
+            # no swap: the result was (incorrectly) written in place
+        return 0

@@ -1,0 +1,28 @@
+"""repro.analyze — parallel-correctness analyses over recorded runs.
+
+Three analyses turn runs into verdicts (see ``docs/analyze.md``):
+
+* :mod:`repro.analyze.races` — a vector-clock happens-before data-race
+  detector over per-task tile read/write footprints;
+* :mod:`repro.analyze.lint` — kernel-variant lint: tile-partition
+  completeness/disjointness, double-buffer discipline, shared-accumulator
+  (``parallel_reduce`` misuse) checks;
+* :mod:`repro.analyze.deadlock` — the wait-for-graph machinery behind
+  ``mpi.comm``'s blocked-rank deadlock detector.
+
+CLI entry points: ``easypap --check-races`` / ``--lint`` and
+``easyview --races``; ``python -m repro.analyze`` sweeps every built-in
+kernel variant (the CI gate).
+"""
+
+from repro.analyze.lint import Finding, lint_results, lint_variant
+from repro.analyze.races import RaceReport, check_races, detect_races
+
+__all__ = [
+    "RaceReport",
+    "detect_races",
+    "check_races",
+    "Finding",
+    "lint_results",
+    "lint_variant",
+]

@@ -1,0 +1,65 @@
+"""``python -m repro.analyze`` — lint every built-in kernel variant.
+
+The CI gate: runs the static + dynamic lint (including the race
+detector) over each registered kernel/variant at a small deterministic
+size, and exits nonzero if any *error*-level finding shows up.  Built-in
+variants must come out clean; the seeded-buggy examples under
+``examples/`` are the positive fixtures (exercised by the tests, not by
+this sweep — they register extra kernels only when imported).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyze.lint import lint_variant
+from repro.core.kernel import get_kernel, list_kernels
+
+#: variants that need an MPI world, with the process count to use
+MPI_VARIANTS = {"mpi_omp": 2, "mpi_2d": 4}
+
+
+def sweep(
+    kernels: list[str] | None = None,
+    *,
+    dim: int = 64,
+    tile: int = 16,
+    verbose: bool = False,
+) -> int:
+    names = kernels or list_kernels()
+    nerrors = nwarnings = nchecked = 0
+    for kname in names:
+        kernel = get_kernel(kname)
+        for vname in kernel.variant_names():
+            mpi_np = MPI_VARIANTS.get(vname, 0)
+            result = lint_variant(
+                kname, vname, dim=dim, tile=tile, mpi_np=mpi_np
+            )
+            nchecked += 1
+            nerrors += len(result.errors)
+            nwarnings += len(result.warnings)
+            if verbose or not result.clean:
+                print(result.describe())
+    print(
+        f"analyze: {nchecked} variants checked, "
+        f"{nerrors} error(s), {nwarnings} warning(s)"
+    )
+    return 1 if nerrors else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="lint + race-check built-in kernel variants",
+    )
+    parser.add_argument("-k", "--kernel", action="append", help="restrict to kernel(s)")
+    parser.add_argument("-s", "--size", type=int, default=64, help="image size")
+    parser.add_argument("--tile", type=int, default=16, help="tile size")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    return sweep(args.kernel, dim=args.size, tile=args.tile, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Per-task footprint extraction from traces.
+
+The runtime attaches three things to every trace event when footprint
+collection is on (``RunConfig.footprints``): the synchronization region
+it belongs to (``extra["region"]``, with ``extra["rmode"]`` naming the
+region's construct), its read/write regions (``event.reads/writes``),
+and — for task-graph regions — its predecessor task ids
+(``extra["preds"]``) plus the raw ``depend`` tokens.
+
+This module groups a :class:`~repro.trace.events.Trace` back into
+:class:`RegionTasks`, the unit the race detector works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import Trace, TraceEvent
+
+__all__ = ["TaskNode", "RegionTasks", "tasks_by_region", "has_footprints"]
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One task execution with its footprint and sync information."""
+
+    event: TraceEvent
+    #: id within the region: meta ``tid`` (dag) or ``index`` (worksharing)
+    tid: int
+    preds: tuple[int, ...] = ()
+    depend_in: tuple[str, ...] = ()
+    depend_out: tuple[str, ...] = ()
+
+    @property
+    def reads(self) -> tuple:
+        return self.event.reads
+
+    @property
+    def writes(self) -> tuple:
+        return self.event.writes
+
+    def describe(self) -> str:
+        """Human-readable identity: the tile if there is one, else the id."""
+        e = self.event
+        if e.has_tile:
+            return f"task #{self.tid} (tile x={e.x} y={e.y} {e.w}x{e.h})"
+        return f"task #{self.tid} ({e.kind})"
+
+
+@dataclass
+class RegionTasks:
+    """All tasks of one synchronization region, in task-id order."""
+
+    region: int
+    rmode: str  # "par" | "reduce" | "seq" | "dag"
+    iteration: int
+    kind: str
+    tasks: list[TaskNode] = field(default_factory=list)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether tasks of this region may overlap in time at all."""
+        return self.rmode in ("par", "reduce", "dag")
+
+
+def tasks_by_region(trace: Trace) -> list[RegionTasks]:
+    """Group the trace's footprint-carrying events into regions.
+
+    Events without a ``region`` id (older traces, GPU launches,
+    instrumented sections) are skipped — no footprint, no verdict.
+    Regions are returned in region-id order; consecutive regions are
+    separated by a barrier (fork/join or implicit taskwait), so the race
+    detector only ever compares tasks *within* one region.
+    """
+    regions: dict[int, RegionTasks] = {}
+    for e in trace.events:
+        extra = e.extra
+        rid = extra.get("region")
+        if rid is None:
+            continue
+        rt = regions.get(rid)
+        if rt is None:
+            rt = regions[rid] = RegionTasks(
+                region=int(rid),
+                rmode=str(extra.get("rmode", "par")),
+                iteration=e.iteration,
+                kind=e.kind,
+            )
+        tid = extra.get("tid", extra.get("index"))
+        tid = int(tid) if tid is not None else len(rt.tasks)
+        rt.tasks.append(
+            TaskNode(
+                event=e,
+                tid=tid,
+                preds=tuple(int(p) for p in extra.get("preds", ())),
+                depend_in=tuple(str(t) for t in extra.get("depend_in", ())),
+                depend_out=tuple(str(t) for t in extra.get("depend_out", ())),
+            )
+        )
+    out = []
+    for rid in sorted(regions):
+        rt = regions[rid]
+        rt.tasks.sort(key=lambda t: t.tid)
+        out.append(rt)
+    return out
+
+
+def has_footprints(trace: Trace) -> bool:
+    """Whether the trace carries any footprint data at all."""
+    return any(e.reads or e.writes for e in trace.events)

@@ -1,0 +1,329 @@
+"""Kernel-variant lint: parallel-correctness checks beyond races.
+
+``lint_variant`` drives a *short* instrumented run (two iterations at a
+small size — not the kernel's real workload) and checks:
+
+* **tile-partition completeness/disjointness** — within one region, the
+  tiles processed must not overlap (disjointness is an error: the same
+  pixels computed twice) and, unless the variant is declared lazy,
+  must cover the whole image (a gap is a warning: pixels never
+  computed);
+* **double-buffer discipline** — a variant whose tasks write a buffer
+  that concurrent tasks of the same region read (the classic "wrote
+  ``cur`` instead of ``next``" bug) — derived from the race detector's
+  read-write conflicts;
+* **shared-accumulator misuse** — a purely static AST pass over the
+  variant's source: a ``parallel_for`` body that mutates a captured
+  variable (``nonlocal``/``global`` declarations, augmented assignment
+  to a free name) races in real OpenMP; the fix is
+  ``ctx.parallel_reduce``.
+
+Race reports themselves are folded in as error findings, so one lint
+call gives the complete verdict for a variant.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analyze.footprint import tasks_by_region
+from repro.analyze.races import RaceCheckResult, check_races
+from repro.core.config import RunConfig
+from repro.core.kernel import Kernel, get_kernel
+from repro.trace.events import Trace
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "lint_variant",
+    "lint_results",
+    "lint_trace",
+    "static_findings",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic."""
+
+    level: str  # "error" | "warning"
+    check: str  # e.g. "partition-overlap", "double-buffer", "race"
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.level}] {self.check}: {self.message}"
+
+
+@dataclass
+class LintResult:
+    """All findings for one kernel variant."""
+
+    kernel: str
+    variant: str
+    findings: list[Finding] = field(default_factory=list)
+    race_results: list[RaceCheckResult] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == "warning"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        head = f"{self.kernel}/{self.variant}: "
+        if self.clean:
+            return head + "ok"
+        return head + f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)\n" + "\n".join(
+            "  " + f.describe() for f in self.findings
+        )
+
+
+# --------------------------------------------------------------------------
+# Dynamic checks (over an instrumented trace)
+# --------------------------------------------------------------------------
+
+
+def partition_findings(trace: Trace, *, lazy: bool = False) -> list[Finding]:
+    """Check, per region, that processed tiles are disjoint and cover
+    the image.  Regions whose items are not tiles (rows, phases, GPU
+    launches) are skipped."""
+    dim = trace.meta.dim
+    if dim <= 0:
+        return []
+    findings: list[Finding] = []
+    for region in tasks_by_region(trace):
+        tiled = [t for t in region.tasks if t.event.has_tile]
+        if not tiled or len(tiled) != len(region.tasks):
+            continue
+        cov = np.zeros((dim, dim), dtype=np.int32)
+        for node in tiled:
+            e = node.event
+            cov[e.y : e.y + e.h, e.x : e.x + e.w] += 1
+        if (cov > 1).any():
+            y, x = map(int, np.argwhere(cov > 1)[0])
+            pair = [n for n in tiled
+                    if n.event.x <= x < n.event.x + n.event.w
+                    and n.event.y <= y < n.event.y + n.event.h][:2]
+            names = " and ".join(n.describe() for n in pair)
+            findings.append(
+                Finding(
+                    "error",
+                    "partition-overlap",
+                    f"region {region.region} (iteration {region.iteration}): "
+                    f"{names} both cover pixel (x={x}, y={y}) — tiles of one "
+                    "region must be disjoint",
+                )
+            )
+        elif not lazy and (cov == 0).any():
+            y, x = map(int, np.argwhere(cov == 0)[0])
+            findings.append(
+                Finding(
+                    "warning",
+                    "partition-gap",
+                    f"region {region.region} (iteration {region.iteration}): "
+                    f"pixel (x={x}, y={y}) is covered by no tile — the "
+                    "partition misses parts of the image",
+                )
+            )
+    return findings
+
+
+def race_findings(rr: RaceCheckResult) -> list[Finding]:
+    """Fold race reports into findings, adding one double-buffer
+    diagnostic per buffer whose read/write overlap looks like the
+    'wrote cur instead of next' bug."""
+    findings = [Finding("error", "race", race.describe()) for race in rr.races]
+    flagged: set[str] = set()
+    for race in rr.races:
+        if (
+            race.kind == "read-write"
+            and race.rmode in ("par", "reduce")
+            and race.buf not in flagged
+        ):
+            flagged.add(race.buf)
+            findings.append(
+                Finding(
+                    "error",
+                    "double-buffer",
+                    f"tasks write buffer {race.buf!r} while concurrent tasks "
+                    "read it — double-buffer discipline: write into the "
+                    "paired buffer and swap between iterations",
+                )
+            )
+    return findings
+
+
+def lint_trace(trace: Trace, *, lazy: bool = False) -> list[Finding]:
+    """Dynamic lint of one recorded trace (partition + races)."""
+    rr = check_races(trace)
+    return partition_findings(trace, lazy=lazy) + race_findings(rr)
+
+
+# --------------------------------------------------------------------------
+# Static checks (over the variant's AST)
+# --------------------------------------------------------------------------
+
+
+def static_findings(kernel: Kernel, variant_name: str) -> list[Finding]:
+    """AST pass over the variant's source: shared-accumulator misuse."""
+    fn = kernel.variants.get(variant_name)
+    if fn is None:
+        return []
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(src)
+    except (OSError, TypeError, SyntaxError):
+        return []
+    func = tree.body[0]
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    nested = {
+        n.name: n for n in ast.walk(func) if isinstance(n, ast.FunctionDef)
+    }
+    findings: list[Finding] = []
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("parallel_for", "parallel_reduce")
+        ):
+            continue
+        construct = node.func.attr
+        for arg in node.args[:1]:
+            body = None
+            if isinstance(arg, ast.Lambda):
+                body = arg
+            elif isinstance(arg, ast.Name):
+                body = nested.get(arg.id)
+            if body is not None:
+                findings.extend(
+                    _accumulator_findings(body, construct, variant_name)
+                )
+    return findings
+
+
+def _accumulator_findings(
+    body: ast.Lambda | ast.FunctionDef, construct: str, variant_name: str
+) -> list[Finding]:
+    bound = {a.arg for a in body.args.args}
+    bound |= {a.arg for a in body.args.kwonlyargs}
+    # names assigned inside the body are locals, not captured state
+    for n in ast.walk(body):
+        if isinstance(n, ast.Assign):
+            for t in n.targets:
+                if isinstance(t, ast.Name):
+                    bound.add(t.id)
+        elif isinstance(n, (ast.For, ast.comprehension)):
+            t = n.target
+            if isinstance(t, ast.Name):
+                bound.add(t.id)
+    findings = []
+    for n in ast.walk(body):
+        shared = None
+        if isinstance(n, (ast.Nonlocal, ast.Global)):
+            shared = ", ".join(n.names)
+        elif (
+            isinstance(n, ast.AugAssign)
+            and isinstance(n.target, ast.Name)
+            and n.target.id not in bound
+        ):
+            shared = n.target.id
+        if shared is None:
+            continue
+        if construct == "parallel_for":
+            msg = (
+                f"variant {variant_name!r}: the parallel_for body mutates "
+                f"the shared variable(s) {shared} — in OpenMP this is a data "
+                "race; accumulate with ctx.parallel_reduce instead"
+            )
+        else:
+            msg = (
+                f"variant {variant_name!r}: the parallel_reduce body mutates "
+                f"the shared variable(s) {shared} — reduction bodies must "
+                "return their value, not mutate captured state"
+            )
+        findings.append(Finding("error", "shared-accumulator", msg))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def lint_results(
+    kernel: Kernel,
+    variant_name: str,
+    results,
+    *,
+    mpi_np: int = 0,
+) -> LintResult:
+    """Lint already-recorded run results (one per traced rank): the AST
+    pass plus the dynamic partition + race checks on each trace."""
+    result = LintResult(kernel=kernel.name, variant=variant_name)
+    result.findings.extend(static_findings(kernel, variant_name))
+    lazy = variant_name in kernel.lazy_variants or mpi_np > 0
+    for r in results:
+        if r.trace is None:
+            continue
+        result.findings.extend(partition_findings(r.trace, lazy=lazy))
+        rr = check_races(r.trace)
+        result.race_results.append(rr)
+        result.findings.extend(race_findings(rr))
+    return result
+
+
+def lint_variant(
+    kernel_name: str,
+    variant_name: str,
+    *,
+    dim: int = 64,
+    tile: int = 16,
+    iterations: int = 2,
+    nthreads: int = 4,
+    schedule: str = "dynamic",
+    arg: str | None = None,
+    mpi_np: int = 0,
+    seed: int | None = 42,
+    model=None,
+) -> LintResult:
+    """Full lint of one variant: a short instrumented run + AST pass.
+
+    MPI variants run with every rank traced (``--debug M``) and each
+    rank's trace is analyzed; gap warnings are suppressed because a rank
+    legitimately computes only its own band/block.
+    """
+    from repro.core.engine import run
+
+    kernel = get_kernel(kernel_name)
+    config = RunConfig(
+        kernel=kernel_name,
+        variant=variant_name,
+        dim=dim,
+        tile_w=tile,
+        tile_h=tile,
+        iterations=iterations,
+        nthreads=nthreads,
+        schedule=schedule,
+        arg=arg,
+        seed=seed,
+        mpi_np=mpi_np,
+        debug="M" if mpi_np else "",
+        trace=True,
+        footprints=True,
+    )
+    run_result = run(config, model=model)
+    return lint_results(
+        kernel, variant_name, run_result.rank_results or [run_result], mpi_np=mpi_np
+    )

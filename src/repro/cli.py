@@ -26,7 +26,7 @@ from pathlib import Path
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
-from repro.core.kernel import get_kernel, list_kernels
+from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
 from repro.errors import EasypapError
 from repro.mpi.launcher import parse_mpirun_args
 from repro.omp.icv import resolve_icvs
@@ -56,8 +56,9 @@ def _preprocess_argv(argv: list[str]) -> list[str]:
 
 def parse_args(argv: list[str] | None = None):
     """Parse an easypap command line (with dash-value folding)."""
-    if argv is not None:
-        argv = _preprocess_argv(list(argv))
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = _preprocess_argv(list(argv))
     return build_parser().parse_args(argv)
 
 
@@ -79,7 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("-n", "--no-display", action="store_true", help="performance mode (default)")
     p.add_argument("--display", action="store_true", help="dump one PPM frame per iteration")
-    p.add_argument("-m", "--monitoring", action="store_true", help="record + print monitoring windows")
+    p.add_argument("-m", "--monitoring", action="store_true",
+                   help="record + print monitoring windows")
     p.add_argument("-t", "--trace", action="store_true", help="record an execution trace (.evt)")
     p.add_argument("--trace-file", default=None, help="trace output path")
     p.add_argument("--mpirun", default=None, metavar="ARGS", help='e.g. "-np 2"')
@@ -105,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-lk", "--list-kernels", action="store_true")
     p.add_argument("-lv", "--list-variants", action="store_true")
     p.add_argument("--label", default="cur", help="trace label (cur/prev, Fig. 10 comparisons)")
+    p.add_argument("--load", action="append", default=[], metavar="FILE",
+                   help="Python file registering extra kernels (repeatable)")
+    p.add_argument("--check-races", action="store_true",
+                   help="record footprints and run the happens-before race "
+                   "detector on the run (exit 1 if races are found)")
+    p.add_argument("--lint", action="store_true",
+                   help="full parallel-correctness lint: races + tile "
+                   "partition + double-buffer + shared-accumulator checks")
     return p
 
 
@@ -149,8 +159,38 @@ def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunCo
     )
 
 
+def _run_analysis(args, config, result) -> int:
+    """The ``--check-races`` / ``--lint`` report over a finished run."""
+    from repro.analyze import check_races, lint_results
+
+    kernel = get_kernel(config.kernel)
+    results = [
+        r for r in (result.rank_results or [result]) if r.trace is not None
+    ]
+    status = 0
+    if args.lint:
+        lr = lint_results(kernel, config.variant, results, mpi_np=config.mpi_np)
+        print(lr.describe())
+        if lr.errors:
+            status = 1
+    else:
+        for r in results:
+            rr = check_races(r.trace)
+            prefix = f"[{r.trace.meta.label}] " if config.mpi_np else ""
+            print(prefix + rr.describe())
+            if not rr.clean:
+                status = 1
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(argv)
+    try:
+        for path in args.load:
+            load_kernel_module(path)
+    except EasypapError as exc:
+        print(f"easypap: {exc}", file=sys.stderr)
+        return 2
     if args.list_kernels:
         print("\n".join(list_kernels()))
         return 0
@@ -163,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
     except EasypapError as exc:
         print(f"easypap: {exc}", file=sys.stderr)
         return 2
+    if args.check_races or args.lint:
+        # the analyses need every rank traced with footprints attached
+        debug = config.debug
+        if config.mpi_np and "M" not in debug:
+            debug += "M"
+        config = config.with_(trace=True, footprints=True, debug=debug)
 
     frame_hook = None
     if config.display:
@@ -184,6 +230,13 @@ def main(argv: list[str] | None = None) -> int:
     print(result.summary())
     if result.early_stop:
         print(f"stabilized at iteration {result.early_stop}")
+
+    # races make the run fail (exit 1) but only after the remaining
+    # outputs (trace, dumps, CSV) are produced — the trace is what
+    # easyview --races replays
+    analysis_status = 0
+    if args.check_races or args.lint:
+        analysis_status = _run_analysis(args, config, result)
 
     if args.check and config.variant != "seq":
         # students' safety net: replay the run with the reference variant
@@ -245,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         row["time_us"] = round(result.elapsed * 1e6, 3)
         row["run"] = 0
         append_rows(args.csv, [row])
-    return 0
+    return analysis_status
 
 
 if __name__ == "__main__":  # pragma: no cover

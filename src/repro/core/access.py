@@ -1,0 +1,140 @@
+"""Memory-access footprint collection.
+
+The ``repro.analyze`` race detector needs to know, for every task, which
+rectangles of which buffers it read and wrote.  This module is the
+recording side: a process-global collector that the :class:`Img2D`
+accessors (and kernels, through ``ctx.declare_access``) report into
+while a task body runs.
+
+Collection is off by default and costs one ``is None`` test per access.
+The parallel runtime activates it per task body; the ``sim`` backend
+executes the bodies of one context sequentially, but MPI ranks run as
+concurrent threads each with their own context, so the active-collector
+slot is *thread-local* — one slot per rank thread.
+
+A footprint region is the 5-tuple ``(buf, x, y, w, h)``: a named buffer
+(``"cur"``, ``"next"``, or any kernel-chosen name) and a pixel
+rectangle.  :class:`Footprint` bundles the read and write regions of one
+task and is what ends up attached to trace events.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Region",
+    "Footprint",
+    "FootprintCollector",
+    "collect",
+    "collecting",
+    "note_read",
+    "note_write",
+]
+
+#: a footprint region: (buffer name, x, y, w, h)
+Region = tuple[str, int, int, int, int]
+
+
+def regions_overlap(a: Region, b: Region) -> tuple[int, int, int, int] | None:
+    """Intersection rectangle of two regions of the same buffer, or None."""
+    if a[0] != b[0]:
+        return None
+    ax, ay, aw, ah = a[1:]
+    bx, by, bw, bh = b[1:]
+    x0, y0 = max(ax, bx), max(ay, by)
+    x1, y1 = min(ax + aw, bx + bw), min(ay + ah, by + bh)
+    if x0 >= x1 or y0 >= y1:
+        return None
+    return (x0, y0, x1 - x0, y1 - y0)
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The read and write regions of one task execution."""
+
+    reads: tuple[Region, ...] = ()
+    writes: tuple[Region, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.reads or self.writes)
+
+    def buffers(self) -> set[str]:
+        return {r[0] for r in self.reads} | {r[0] for r in self.writes}
+
+    @classmethod
+    def from_lists(
+        cls, reads: Iterable[Sequence] = (), writes: Iterable[Sequence] = ()
+    ) -> "Footprint":
+        """Build from JSON-ish lists (``[buf, x, y, w, h]`` entries)."""
+
+        def norm(rs):
+            return tuple((str(r[0]), int(r[1]), int(r[2]), int(r[3]), int(r[4])) for r in rs)
+
+        return cls(reads=norm(reads), writes=norm(writes))
+
+
+class FootprintCollector:
+    """Accumulates the regions touched while it is the active collector.
+
+    Regions are deduplicated (scalar accessors called in a loop would
+    otherwise produce one region per pixel) but not coalesced: the
+    race detector works on rectangle overlaps, so a list of 1x1 regions
+    is correct, just larger.
+    """
+
+    __slots__ = ("_reads", "_writes")
+
+    def __init__(self):
+        self._reads: dict[Region, None] = {}
+        self._writes: dict[Region, None] = {}
+
+    def read(self, buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
+        if w > 0 and h > 0:
+            self._reads[(buf, int(x), int(y), int(w), int(h))] = None
+
+    def write(self, buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
+        if w > 0 and h > 0:
+            self._writes[(buf, int(x), int(y), int(w), int(h))] = None
+
+    def freeze(self) -> Footprint:
+        return Footprint(reads=tuple(self._reads), writes=tuple(self._writes))
+
+
+#: per-thread active collector (``.current``), None when collection is off
+_ACTIVE = threading.local()
+
+
+def _current() -> FootprintCollector | None:
+    return getattr(_ACTIVE, "current", None)
+
+
+def collecting() -> bool:
+    return _current() is not None
+
+
+def note_read(buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
+    col = _current()
+    if col is not None:
+        col.read(buf, x, y, w, h)
+
+
+def note_write(buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
+    col = _current()
+    if col is not None:
+        col.write(buf, x, y, w, h)
+
+
+@contextmanager
+def collect() -> Iterator[FootprintCollector]:
+    """Make a fresh collector active (on this thread) for the block."""
+    prev = _current()
+    col = FootprintCollector()
+    _ACTIVE.current = col
+    try:
+        yield col
+    finally:
+        _ACTIVE.current = prev

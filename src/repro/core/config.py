@@ -38,6 +38,7 @@ class RunConfig:
     monitoring: bool = False
     trace: bool = False
     trace_label: str = "cur"
+    footprints: bool = False  # record per-task read/write footprints (--check-races)
     display: bool = False
     arg: str | None = None  # kernel-specific parameter (EASYPAP --arg)
     seed: int | None = None

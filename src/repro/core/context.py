@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence, TYPE_CHECKING
 
+from repro.core import access
 from repro.core.config import RunConfig
 from repro.core.image import Img2D
 from repro.core.tiling import Tile, TileGrid
@@ -85,6 +86,10 @@ class ExecutionContext:
         #: when set (a list), every region appends its work profile here —
         #: the capture side of :mod:`repro.expt.replay`
         self.region_log: list | None = None
+        #: record per-task read/write footprints (the input of repro.analyze)
+        self.collect_footprints = config.footprints
+        #: monotonically increasing id of the next parallel/sequential region
+        self.region_seq = 0
 
     # -- EASYPAP image macros -------------------------------------------------
     @property
@@ -150,11 +155,32 @@ class ExecutionContext:
             raise ValueError(f"cannot move the clock backwards ({dt})")
         self.vclock += dt
 
-    def record_timeline(self, timeline: Timeline) -> None:
+    def record_timeline(self, timeline: Timeline, *, footprints=None) -> None:
         if self.monitor is not None:
             self.monitor.record_timeline(timeline)
         if self.tracer is not None:
-            self.tracer.record_timeline(timeline)
+            self.tracer.record_timeline(timeline, footprints=footprints)
+
+    def next_region(self) -> int:
+        """Allocate the id of a new parallel/sequential region."""
+        rid = self.region_seq
+        self.region_seq += 1
+        return rid
+
+    def declare_access(self, reads: Iterable = (), writes: Iterable = ()) -> None:
+        """Declare the running task's footprint explicitly.
+
+        For kernels that bypass the :class:`Img2D` accessors (raw NumPy
+        slicing, private ``ctx.data`` arrays): each entry is a
+        ``(buf, x, y, w, h)`` region.  A no-op unless footprint
+        collection is active, so hot paths pay one branch.
+        """
+        if not access.collecting():
+            return
+        for buf, x, y, w, h in reads:
+            access.note_read(buf, x, y, w, h)
+        for buf, x, y, w, h in writes:
+            access.note_write(buf, x, y, w, h)
 
     def perturb_costs(self, costs: list[float]) -> list[float]:
         """Apply the run's system-noise model to per-item costs (no-op
@@ -210,19 +236,34 @@ class ExecutionContext:
         sequential mode too.
         """
         items = list(self.grid) if items is None else list(items)
-        works = [float(body(item) or 0.0) for item in items]
+        footprints = None
+        if self.collect_footprints:
+            footprints = []
+            works = []
+            for item in items:
+                with access.collect() as col:
+                    works.append(float(body(item) or 0.0))
+                footprints.append(col.freeze())
+        else:
+            works = [float(body(item) or 0.0) for item in items]
         if self.region_log is not None:
             self.region_log.append(("seq", works))
         costs = self.perturb_costs(self.model.times_of(works))
+        region = self.next_region()
         timeline = Timeline(ncpus=self.nthreads)
         t = self.vclock
-        for item, cost in zip(items, costs):
-            timeline.append(
-                TaskExec(item, 0, t, t + cost, {"iteration": self.iteration, "kind": kind})
-            )
+        for i, (item, cost) in enumerate(zip(items, costs)):
+            meta = {
+                "iteration": self.iteration,
+                "kind": kind,
+                "index": i,
+                "region": region,
+                "rmode": "seq",
+            }
+            timeline.append(TaskExec(item, 0, t, t + cost, meta))
             t += cost
         self.vclock = t
-        self.record_timeline(timeline)
+        self.record_timeline(timeline, footprints=footprints)
         return t
 
     def run_on_master(self, fn: Callable[[], Any], work: float = 0.0) -> Any:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import access
 from repro.errors import ConfigError
 
 __all__ = ["Img2D", "rgba", "rgb", "red_of", "green_of", "blue_of", "alpha_of"]
@@ -67,26 +68,44 @@ class Img2D:
     # -- scalar accessors (the cur_img()/next_img() macros) ---------------
     def cur_img(self, y: int, x: int) -> int:
         """Read one pixel of the current image (EASYPAP ``cur_img(i, j)``)."""
+        access.note_read("cur", x, y)
         return int(self.cur[y, x])
 
     def set_cur(self, y: int, x: int, value: int) -> None:
+        access.note_write("cur", x, y)
         self.cur[y, x] = value
 
     def next_img(self, y: int, x: int) -> int:
+        access.note_read("next", x, y)
         return int(self.nxt[y, x])
 
     def set_next(self, y: int, x: int, value: int) -> None:
+        access.note_write("next", x, y)
         self.nxt[y, x] = value
 
     # -- bulk access -------------------------------------------------------
-    def cur_view(self, y: int, x: int, h: int, w: int) -> np.ndarray:
-        """A writable view of a rectangle of the current image."""
+    def cur_view(self, y: int, x: int, h: int, w: int, mode: str = "rw") -> np.ndarray:
+        """A writable view of a rectangle of the current image.
+
+        ``mode`` ("r", "w" or "rw") declares how the view will be used;
+        it only matters to footprint collection (``--check-races``),
+        where an honest mode tightens race reports.
+        """
         self._check_rect(y, x, h, w)
+        self._note("cur", x, y, w, h, mode)
         return self.cur[y : y + h, x : x + w]
 
-    def next_view(self, y: int, x: int, h: int, w: int) -> np.ndarray:
+    def next_view(self, y: int, x: int, h: int, w: int, mode: str = "rw") -> np.ndarray:
         self._check_rect(y, x, h, w)
+        self._note("next", x, y, w, h, mode)
         return self.nxt[y : y + h, x : x + w]
+
+    @staticmethod
+    def _note(buf: str, x: int, y: int, w: int, h: int, mode: str) -> None:
+        if "r" in mode:
+            access.note_read(buf, x, y, w, h)
+        if "w" in mode:
+            access.note_write(buf, x, y, w, h)
 
     def _check_rect(self, y: int, x: int, h: int, w: int) -> None:
         if y < 0 or x < 0 or h < 0 or w < 0 or y + h > self.dim or x + w > self.dim:

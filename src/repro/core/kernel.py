@@ -14,11 +14,22 @@ a steady state.
 
 from __future__ import annotations
 
+import importlib.util
+import os
+import re
+import sys
 from typing import Callable, Type
 
 from repro.errors import KernelError, UnknownKernelError, UnknownVariantError
 
-__all__ = ["Kernel", "variant", "register_kernel", "get_kernel", "list_kernels"]
+__all__ = [
+    "Kernel",
+    "variant",
+    "register_kernel",
+    "get_kernel",
+    "list_kernels",
+    "load_kernel_module",
+]
 
 _KERNELS: dict[str, Type["Kernel"]] = {}
 
@@ -47,6 +58,11 @@ class Kernel:
 
     #: registry name; subclasses must set it
     name: str = "?"
+
+    #: variants that legitimately skip tiles (lazy evaluation, MPI
+    #: bands...) — the analyze lint exempts them from the
+    #: partition-completeness check
+    lazy_variants: frozenset[str] = frozenset()
 
     #: variant name -> unbound method, filled by ``__init_subclass__``
     variants: dict[str, Callable]
@@ -120,3 +136,30 @@ def list_kernels() -> list[str]:
 def _ensure_builtin_kernels() -> None:
     """Import the built-in kernel package once (registers via decorator)."""
     import repro.kernels  # noqa: F401  (import side effect)
+
+
+def load_kernel_module(path: str):
+    """Execute a Python file that registers extra kernels (``--load``).
+
+    The module is cached in ``sys.modules`` under a name derived from its
+    absolute path, so loading the same file twice (e.g. several CLI runs
+    in one process, or tests) does not re-register its kernels.
+    """
+    _ensure_builtin_kernels()
+    path = os.path.abspath(path)
+    if not os.path.isfile(path):
+        raise KernelError(f"kernel file not found: {path}")
+    modname = "easypap_ext_" + re.sub(r"\W", "_", path)
+    if modname in sys.modules:
+        return sys.modules[modname]
+    spec = importlib.util.spec_from_file_location(modname, path)
+    if spec is None or spec.loader is None:
+        raise KernelError(f"cannot load kernel file {path!r}")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[modname] = mod
+    try:
+        spec.loader.exec_module(mod)
+    except Exception:
+        del sys.modules[modname]
+        raise
+    return mod

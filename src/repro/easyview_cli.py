@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 from repro.errors import EasypapError
 from repro.trace.compare import TraceComparison
@@ -69,6 +68,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="export to Chrome/Perfetto trace-event JSON")
     p.add_argument("--analysis", action="store_true",
                    help="print the per-iteration efficiency breakdown")
+    p.add_argument("--races", action="store_true",
+                   help="run the happens-before race analysis on the trace "
+                   "(needs footprints: record with easypap --check-races -t)")
     args = p.parse_args(argv)
 
     first_it = last_it = None
@@ -111,6 +113,18 @@ def main(argv: list[str] | None = None) -> int:
 
                 print("\nbottleneck analysis:")
                 print(bottleneck_report(trace))
+            if args.races:
+                from repro.analyze import check_races
+                from repro.analyze.footprint import has_footprints
+
+                print("\nrace analysis:")
+                if not has_footprints(trace):
+                    print("  trace carries no footprints — record it with "
+                          "easypap --check-races -t (or footprints enabled)")
+                rr = check_races(trace)
+                print(rr.describe())
+                if not rr.clean:
+                    return 1
         elif len(args.traces) == 2:
             before = load_trace(args.traces[0])
             after = load_trace(args.traces[1])

@@ -60,6 +60,18 @@ class RankMismatchError(MpiError):
     """Collective called with inconsistent arguments across ranks."""
 
 
+class DeadlockError(MpiError):
+    """Provable message-passing deadlock (blocked-rank cycle, wait on a
+    terminated peer...) found by the wait-for-graph analyzer
+    (:mod:`repro.analyze.deadlock`).  ``report`` carries the structured
+    :class:`~repro.analyze.deadlock.DeadlockReport`."""
+
+    def __init__(self, report):
+        self.report = report
+        describe = getattr(report, "describe", None)
+        super().__init__(describe() if callable(describe) else str(report))
+
+
 class TraceError(EasypapError):
     """Malformed trace file or recorder misuse."""
 

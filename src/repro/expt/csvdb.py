@@ -65,7 +65,10 @@ def read_rows(path: str | os.PathLike) -> list[dict]:
         raise PlotError(f"results file not found: {p}")
     with p.open("r", newline="", encoding="utf-8") as fh:
         reader = csv.DictReader(fh)
-        return [{k: _parse_cell(v if v is not None else "") for k, v in row.items()} for row in reader]
+        return [
+            {k: _parse_cell(v if v is not None else "") for k, v in row.items()}
+            for row in reader
+        ]
 
 
 def filter_rows(rows: list[dict], **criteria: Any) -> list[dict]:

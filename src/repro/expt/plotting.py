@@ -22,7 +22,7 @@ def render_text(spec: PlotSpec) -> str:
             out.append(f"\n== {facet.title} ==")
         xs = sorted({x for s in facet.series for x in s.xs}, key=lambda v: (str(type(v)), v))
         labels = [s.label for s in facet.series]
-        widths = [max(len(l), 10) for l in labels]
+        widths = [max(len(lbl), 10) for lbl in labels]
         header = f"{spec.x:>10} | " + " | ".join(
             f"{l:>{w}}" for l, w in zip(labels, widths)
         )

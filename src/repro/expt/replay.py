@@ -15,16 +15,15 @@ of configurations x 10 repetitions) run in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.core.config import RunConfig
 from repro.core.context import ExecutionContext
 from repro.core.kernel import get_kernel
 from repro.errors import ConfigError
 from repro.sched.costmodel import CostModel
+from repro.sched.dag_sim import simulate_dag
 from repro.sched.simulator import simulate
 from repro.sched.taskgraph import TaskGraph
-from repro.sched.dag_sim import simulate_dag
 
 __all__ = ["RegionLog", "WorkProfileCache", "replay_log"]
 

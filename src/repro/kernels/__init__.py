@@ -24,13 +24,13 @@ from repro.kernels.life import LifeKernel
 from repro.kernels.mandel import MandelKernel
 from repro.kernels.sandpile import SandpileKernel
 from repro.kernels.scrollup import ScrollupKernel
-from repro.kernels.spin import SpinKernel
 from repro.kernels.simple import (
     InvertKernel,
     NoneKernel,
     PixelizeKernel,
     TransposeKernel,
 )
+from repro.kernels.spin import SpinKernel
 
 __all__ = [
     "BlurKernel",

@@ -14,6 +14,7 @@ __all__ = [
     "split_channels",
     "merge_channels",
     "clipped_halo",
+    "halo_region",
     "synthetic_picture",
     "SCALAR_PIXEL_WORK",
     "VECTOR_PIXEL_WORK",
@@ -58,6 +59,20 @@ def clipped_halo(
     y1 = min(y + h + halo, dim_y)
     x1 = min(x + w + halo, dim_x)
     return img[y0:y1, x0:x1], y - y0, x - x0
+
+
+def halo_region(
+    buf: str, x: int, y: int, w: int, h: int, dim: int, halo: int = 1
+) -> tuple[str, int, int, int, int]:
+    """The footprint region of a tile plus its halo, clipped to the image.
+
+    The declaration counterpart of :func:`clipped_halo`, for stencil
+    kernels that read raw arrays and describe their reads through
+    ``ctx.declare_access`` (see :mod:`repro.core.access`).
+    """
+    x0, y0 = max(x - halo, 0), max(y - halo, 0)
+    x1, y1 = min(x + w + halo, dim), min(y + h + halo, dim)
+    return (buf, x0, y0, x1 - x0, y1 - y0)
 
 
 def synthetic_picture(dim: int, rng: np.random.Generator) -> np.ndarray:

@@ -32,6 +32,7 @@ from repro.core.tiling import Tile
 from repro.kernels.api import (
     SCALAR_PIXEL_WORK,
     VECTOR_PIXEL_WORK,
+    halo_region,
     merge_channels,
     split_channels,
     synthetic_picture,
@@ -110,15 +111,26 @@ class BlurKernel(Kernel):
         ctx.img.load(synthetic_picture(ctx.dim, ctx.rng))
 
     # -- tile bodies --------------------------------------------------------------
+    def _declare_tile_access(self, ctx, x: int, y: int, w: int, h: int) -> None:
+        """Stencil footprint: reads the tile + halo of ``cur``, writes the
+        tile of ``next`` (the blur helpers slice raw arrays, so the Img2D
+        accessors never see these accesses)."""
+        ctx.declare_access(
+            reads=[halo_region("cur", x, y, w, h, ctx.dim)],
+            writes=[("next", x, y, w, h)],
+        )
+
     def do_tile_basic(self, ctx, tile: Tile) -> float:
         """Branchy path everywhere (students' first tiled version)."""
         x, y, w, h = tile.as_rect()
+        self._declare_tile_access(ctx, x, y, w, h)
         blur_rect_vectorized(ctx.img.cur, ctx.img.nxt, x, y, w, h)
         return tile.area * SCALAR_PIXEL_WORK
 
     def do_tile_opt(self, ctx, tile: Tile) -> float:
         """Branch-free bulk path for inner tiles, branchy for border ones."""
         x, y, w, h = tile.as_rect()
+        self._declare_tile_access(ctx, x, y, w, h)
         blur_rect_vectorized(ctx.img.cur, ctx.img.nxt, x, y, w, h)
         is_border = (
             tile.row == 0
@@ -131,6 +143,7 @@ class BlurKernel(Kernel):
     def do_tile_scalar(self, ctx, tile: Tile) -> float:
         """Actually scalar Python (used by ``seq`` and the Fig. 10 bench)."""
         x, y, w, h = tile.as_rect()
+        self._declare_tile_access(ctx, x, y, w, h)
         blur_rect_scalar(ctx.img.cur, ctx.img.nxt, x, y, w, h)
         return tile.area * SCALAR_PIXEL_WORK
 

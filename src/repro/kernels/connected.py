@@ -189,13 +189,27 @@ class ConnectedKernel(Kernel):
 
     # -- tile bodies ---------------------------------------------------------
     def _tile_dr(self, ctx, tile: Tile) -> float:
-        changed = pass_down_right(ctx.img.cur, tile.x, tile.y, tile.w, tile.h)
+        x, y, w, h = tile.as_rect()
+        reads = [("cur", x, y, w, h)]
+        if y > 0:
+            reads.append(("cur", x, y - 1, w, 1))  # final row of the tile above
+        if x > 0:
+            reads.append(("cur", x - 1, y, 1, h))  # final column of the left tile
+        ctx.declare_access(reads=reads, writes=[("cur", x, y, w, h)])
+        changed = pass_down_right(ctx.img.cur, x, y, w, h)
         if changed:
             ctx.data["changed"] = True
         return tile.area * CC_PIXEL_WORK
 
     def _tile_ul(self, ctx, tile: Tile) -> float:
-        changed = pass_up_left(ctx.img.cur, tile.x, tile.y, tile.w, tile.h)
+        x, y, w, h = tile.as_rect()
+        reads = [("cur", x, y, w, h)]
+        if y + h < ctx.dim:
+            reads.append(("cur", x, y + h, w, 1))  # first row of the tile below
+        if x + w < ctx.dim:
+            reads.append(("cur", x + w, y, 1, h))  # first column of the right tile
+        ctx.declare_access(reads=reads, writes=[("cur", x, y, w, h)])
+        changed = pass_up_left(ctx.img.cur, x, y, w, h)
         if changed:
             ctx.data["changed"] = True
         return tile.area * CC_PIXEL_WORK

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.kernel import Kernel, register_kernel, variant
 from repro.core.tiling import Tile
+from repro.kernels.api import halo_region
 
 __all__ = ["HeatKernel", "jacobi_step_rect"]
 
@@ -103,6 +104,13 @@ class HeatKernel(Kernel):
 
     def do_tile_delta(self, ctx, tile: Tile) -> tuple[float, float]:
         """Tile body in reduction style: returns (work, local max delta)."""
+        ctx.declare_access(
+            reads=[
+                halo_region("temp", tile.x, tile.y, tile.w, tile.h, ctx.dim),
+                ("sources", tile.x, tile.y, tile.w, tile.h),
+            ],
+            writes=[("next", tile.x, tile.y, tile.w, tile.h)],
+        )
         delta = jacobi_step_rect(
             ctx.data["temp"], ctx.data["next"], ctx.data["sources"],
             tile.y, tile.x, tile.h, tile.w,

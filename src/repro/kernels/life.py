@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.kernel import Kernel, register_kernel, variant
 from repro.core.tiling import Tile
+from repro.kernels.api import halo_region
 from repro.util.rng import make_rng
 
 __all__ = ["LifeKernel", "life_step_rect", "make_dataset", "GLIDER"]
@@ -120,6 +121,9 @@ class LifeKernel(Kernel):
 
     name = "life"
 
+    # lazy skips steady tiles; mpi_omp additionally computes one band per rank
+    lazy_variants = frozenset({"lazy", "mpi_omp"})
+
     def init(self, ctx) -> None:
         if ctx.mpi is not None:
             self._init_mpi(ctx)
@@ -140,6 +144,10 @@ class LifeKernel(Kernel):
 
     # -- tile body -----------------------------------------------------------
     def do_tile(self, ctx, tile: Tile) -> float:
+        ctx.declare_access(
+            reads=[halo_region("cells", tile.x, tile.y, tile.w, tile.h, ctx.dim)],
+            writes=[("next", tile.x, tile.y, tile.w, tile.h)],
+        )
         changed = life_step_rect(
             ctx.data["cells"], ctx.data["next"], tile.y, tile.x, tile.h, tile.w
         )
@@ -284,6 +292,12 @@ class LifeKernel(Kernel):
     def _do_tile_mpi(self, ctx, tile: Tile) -> float:
         """Tile body in band-local coordinates (ghost row offset +1)."""
         y0 = ctx.data["band_y0"]
+        # footprint in global coordinates (ghost rows map to the
+        # neighbour's boundary rows)
+        ctx.declare_access(
+            reads=[halo_region("cells", tile.x, tile.y, tile.w, tile.h, ctx.dim)],
+            writes=[("next", tile.x, tile.y, tile.w, tile.h)],
+        )
         changed = life_step_rect(
             ctx.data["cells"], ctx.data["next"], tile.y - y0 + 1, tile.x, tile.h, tile.w
         )

@@ -148,7 +148,7 @@ class MandelKernel(Kernel):
         counts, work = mandel_counts(
             cr, ci, ctx.data["max_iter"], julia_c=ctx.data.get("julia_c")
         )
-        ctx.img.cur_view(y, x, h, w)[:] = _ramp(counts, ctx.data["max_iter"])
+        ctx.img.cur_view(y, x, h, w, mode="w")[:] = _ramp(counts, ctx.data["max_iter"])
         return work
 
     def zoom(self, ctx) -> None:
@@ -180,7 +180,9 @@ class MandelKernel(Kernel):
         counts, work = mandel_counts(
             cr, ci, ctx.data["max_iter"], julia_c=ctx.data.get("julia_c")
         )
-        ctx.img.cur_view(row, 0, 1, ctx.dim)[:] = _ramp(counts, ctx.data["max_iter"])
+        ctx.img.cur_view(row, 0, 1, ctx.dim, mode="w")[:] = _ramp(
+            counts, ctx.data["max_iter"]
+        )
         return work
 
     @variant("tiled")

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.kernel import Kernel, register_kernel, variant
 from repro.core.tiling import Tile
+from repro.kernels.api import halo_region
 
 __all__ = ["SandpileKernel", "sandpile_step_rect"]
 
@@ -77,6 +78,10 @@ class SandpileKernel(Kernel):
             ctx.img.cur[:] = PALETTE[np.minimum(grains, 4)]
 
     def do_tile(self, ctx, tile: Tile) -> float:
+        ctx.declare_access(
+            reads=[halo_region("grains", tile.x, tile.y, tile.w, tile.h, ctx.dim)],
+            writes=[("next", tile.x, tile.y, tile.w, tile.h)],
+        )
         changed = sandpile_step_rect(
             ctx.data["grains"], ctx.data["next"], tile.y, tile.x, tile.h, tile.w
         )

@@ -32,6 +32,13 @@ class ScrollupKernel(Kernel):
     def do_tile(self, ctx, tile: Tile) -> float:
         x, y, w, h = tile.as_rect()
         dim = ctx.dim
+        # source rows wrap at the bottom edge: declare the footprint in
+        # (up to) two unwrapped spans
+        src0 = y + 1
+        reads = [("cur", x, src0, w, min(h, dim - src0))]
+        if src0 + h > dim:
+            reads.append(("cur", x, 0, w, src0 + h - dim))
+        ctx.declare_access(reads=reads, writes=[("next", x, y, w, h)])
         src_rows = (np.arange(y, y + h) + 1) % dim
         ctx.img.nxt[y : y + h, x : x + w] = ctx.img.cur[src_rows, x : x + w]
         return tile.area * PIXEL_WORK

@@ -83,8 +83,8 @@ class TransposeKernel(_PictureKernel):
 
     def do_tile(self, ctx, tile: Tile) -> float:
         x, y, w, h = tile.as_rect()
-        block = ctx.img.cur_view(y, x, h, w)
-        ctx.img.next_view(x, y, w, h)[:] = block.T
+        block = ctx.img.cur_view(y, x, h, w, mode="r")
+        ctx.img.next_view(x, y, w, h, mode="w")[:] = block.T
         return tile.area * PIXEL_WORK
 
     def end_of_iteration(self, ctx) -> None:

@@ -45,7 +45,7 @@ class SpinKernel(Kernel):
         yy = y + np.arange(h)[:, np.newaxis] - c
         xx = x + np.arange(w)[np.newaxis, :] - c
         angle = np.arctan2(yy, xx) + ctx.data["phase"]
-        ctx.img.cur_view(y, x, h, w)[:] = _colorize(angle)
+        ctx.img.cur_view(y, x, h, w, mode="w")[:] = _colorize(angle)
         return tile.area * PIXEL_WORK
 
     def _rotate(self, ctx) -> None:

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import pickle
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import MpiError
+from repro.errors import DeadlockError, MpiError
 
 __all__ = ["MpiWorld", "Comm", "Request", "ANY_SOURCE", "ANY_TAG", "run_world"]
 
@@ -32,7 +33,8 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 _COLL_BIT = 1 << 30  # internal tags: _COLL_BIT | (seq << 4) | coll_id
-_RECV_TIMEOUT = 60.0  # seconds; a blocked recv this long is a deadlock
+_RECV_TIMEOUT = 60.0  # seconds; hard backstop for a blocked recv
+_POLL_INTERVAL = 0.05  # seconds between deadlock-analysis polls
 
 
 @dataclass
@@ -66,17 +68,50 @@ class _Mailbox:
                 return i
         return None
 
-    def get(self, source: int, tag: int, timeout: float) -> tuple[int, int, bytes]:
+    def get(
+        self,
+        source: int,
+        tag: int,
+        timeout: float,
+        *,
+        world: "MpiWorld | None" = None,
+        rank: int | None = None,
+    ) -> tuple[int, int, bytes]:
+        """Blocking matched pop.
+
+        When ``world``/``rank`` are given, the wait is a poll loop: the
+        rank registers itself in the world's blocked registry and, each
+        time a poll interval elapses without a matching message, runs
+        the wait-for-graph analysis — raising :class:`DeadlockError`
+        with a diagnosis instead of sitting out the full timeout.  Poll
+        intervals are staggered by rank so concurrent diagnoses rarely
+        collide.
+        """
+        deadline = time.monotonic() + timeout
+        poll = None
+        if world is not None:
+            poll = world.poll_interval * (1.0 + 0.13 * rank)
+            world._set_blocked(rank, source, tag)
         with self._lock:
-            while True:
-                i = self._match(source, tag)
-                if i is not None:
-                    return self._pending.pop(i)
-                if not self._cond.wait(timeout=timeout):
-                    raise MpiError(
-                        f"recv(source={source}, tag={tag}) timed out after "
-                        f"{timeout}s — deadlock?"
-                    )
+            try:
+                while True:
+                    i = self._match(source, tag)
+                    if i is not None:
+                        return self._pending.pop(i)
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise MpiError(
+                            f"recv(source={source}, tag={tag}) timed out "
+                            f"after {timeout}s — deadlock?"
+                        )
+                    wait = remaining if poll is None else min(poll, remaining)
+                    if not self._cond.wait(timeout=wait) and world is not None:
+                        report = world._diagnose(rank, source, tag, self)
+                        if report is not None:
+                            raise DeadlockError(report)
+            finally:
+                if world is not None:
+                    world._clear_blocked(rank)
 
     def try_get(self, source: int, tag: int) -> tuple[int, int, bytes] | None:
         """Non-blocking probe+pop (backs Request.test)."""
@@ -120,9 +155,7 @@ class Request:
         sent one, for isend requests)."""
         if self._done:
             return self._payload
-        _, _, payload = self._comm.world.mailboxes[self._comm.rank].get(
-            self._source, self._tag, self._comm.world.recv_timeout
-        )
+        _, _, payload = self._comm._get(self._source, self._tag)
         self._comm.world.stats[self._comm.rank].messages_received += 1
         self._payload = pickle.loads(payload)
         self._done = True
@@ -130,20 +163,89 @@ class Request:
 
 
 class MpiWorld:
-    """A set of ranks with their mailboxes."""
+    """A set of ranks with their mailboxes.
 
-    def __init__(self, size: int, recv_timeout: float = _RECV_TIMEOUT):
+    Beyond delivery, the world tracks which ranks are blocked in a
+    receive (``rank -> (source, tag)``) and which have terminated, so a
+    blocked rank can run the wait-for-graph deadlock analysis of
+    :mod:`repro.analyze.deadlock` instead of waiting out the timeout.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        recv_timeout: float = _RECV_TIMEOUT,
+        poll_interval: float = _POLL_INTERVAL,
+    ):
         if size < 1:
             raise MpiError(f"world size must be >= 1, got {size}")
         self.size = size
         self.recv_timeout = recv_timeout
+        self.poll_interval = poll_interval
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.stats = [CommStats() for _ in range(size)]
+        self._dl_lock = threading.Lock()
+        self._blocked: dict[int, tuple[int, int]] = {}
+        self._finished: set[int] = set()
 
     def comm(self, rank: int) -> "Comm":
         if not (0 <= rank < self.size):
             raise MpiError(f"rank {rank} out of world of size {self.size}")
         return Comm(self, rank)
+
+    # -- deadlock analysis ----------------------------------------------------
+    def _set_blocked(self, rank: int, source: int, tag: int) -> None:
+        with self._dl_lock:
+            self._blocked[rank] = (source, tag)
+
+    def _clear_blocked(self, rank: int) -> None:
+        with self._dl_lock:
+            self._blocked.pop(rank, None)
+
+    def mark_finished(self, rank: int) -> None:
+        """Record that ``rank``'s thread terminated (normally or not) and
+        wake blocked ranks so they re-run the analysis promptly."""
+        with self._dl_lock:
+            self._finished.add(rank)
+        for mb in self.mailboxes:
+            with mb._lock:
+                mb._cond.notify_all()
+
+    def _peer_stuck(self, peer: int, source: int, tag: int) -> bool | None:
+        """Is ``peer`` blocked with no matching pending message?
+
+        Returns None (undecidable: its mailbox lock is busy, so it is
+        doing *something*) rather than blocking — lock order here is
+        own-mailbox -> world -> peer-mailbox, and a blocking acquire
+        could deadlock the detector itself.
+        """
+        mb = self.mailboxes[peer]
+        if not mb._lock.acquire(blocking=False):
+            return None
+        try:
+            return mb._match(source, tag) is None
+        finally:
+            mb._lock.release()
+
+    def _diagnose(self, rank: int, source: int, tag: int, mailbox: "_Mailbox"):
+        """Snapshot the blocked registry and run the wait-for-graph
+        analysis for ``rank`` (which holds ``mailbox``'s lock and has
+        verified no matching message is pending).  Returns a
+        DeadlockReport, or None when no deadlock is provable yet."""
+        from repro.analyze.deadlock import PendingMsg, RankWait, diagnose
+
+        with self._dl_lock:
+            registry = dict(self._blocked)
+            finished = frozenset(self._finished)
+        waits = {}
+        for r, (s, t) in registry.items():
+            if r == rank:
+                waits[r] = RankWait(r, s, t)
+            elif self._peer_stuck(r, s, t):
+                waits[r] = RankWait(r, s, t)
+            # undecidable / has a match: treated as active (omitted)
+        unmatched = tuple(PendingMsg(s, t) for s, t, _ in mailbox._pending)
+        return diagnose(rank, waits, finished, self.size, unmatched)
 
 
 class Comm:
@@ -160,6 +262,13 @@ class Comm:
         if not (0 <= peer < self.size):
             raise MpiError(f"{what} rank {peer} out of world of size {self.size}")
 
+    def _get(self, source: int, tag: int) -> tuple[int, int, bytes]:
+        """Blocking matched receive from this rank's mailbox, with the
+        deadlock analysis armed."""
+        return self.world.mailboxes[self.rank].get(
+            source, tag, self.world.recv_timeout, world=self.world, rank=self.rank
+        )
+
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Buffered send (never blocks): the message is pickled and
         enqueued at the destination."""
@@ -174,9 +283,7 @@ class Comm:
         """Blocking receive with (source, tag) matching."""
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
-        _, _, payload = self.world.mailboxes[self.rank].get(
-            source, tag, self.world.recv_timeout
-        )
+        _, _, payload = self._get(source, tag)
         self.world.stats[self.rank].messages_received += 1
         return pickle.loads(payload)
 
@@ -216,12 +323,12 @@ class Comm:
         tag = self._coll_tag(0)
         if self.rank == 0:
             for src in range(1, self.size):
-                _, _, _ = self.world.mailboxes[0].get(src, tag, self.world.recv_timeout)
+                self._get(src, tag)
             for dst in range(1, self.size):
                 self.world.mailboxes[dst].put(0, tag, b"")
         else:
             self.world.mailboxes[0].put(self.rank, tag, b"")
-            self.world.mailboxes[self.rank].get(0, tag, self.world.recv_timeout)
+            self._get(0, tag)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._check_peer(root, "root")
@@ -235,9 +342,7 @@ class Comm:
                     st.bytes_sent += len(payload)
                     self.world.mailboxes[dst].put(root, tag, payload)
             return obj
-        _, _, payload = self.world.mailboxes[self.rank].get(
-            root, tag, self.world.recv_timeout
-        )
+        _, _, payload = self._get(root, tag)
         self.world.stats[self.rank].messages_received += 1
         return pickle.loads(payload)
 
@@ -259,9 +364,7 @@ class Comm:
                     st.bytes_sent += len(payload)
                     self.world.mailboxes[dst].put(root, tag, payload)
             return mine
-        _, _, payload = self.world.mailboxes[self.rank].get(
-            root, tag, self.world.recv_timeout
-        )
+        _, _, payload = self._get(root, tag)
         self.world.stats[self.rank].messages_received += 1
         return pickle.loads(payload)
 
@@ -273,9 +376,7 @@ class Comm:
             out[root] = obj
             for src in range(self.size):
                 if src != root:
-                    _, _, payload = self.world.mailboxes[root].get(
-                        src, tag, self.world.recv_timeout
-                    )
+                    _, _, payload = self._get(src, tag)
                     self.world.stats[self.rank].messages_received += 1
                     out[src] = pickle.loads(payload)
             return out
@@ -331,6 +432,9 @@ def run_world(
         except BaseException as exc:  # noqa: BLE001 - reported to the caller
             with lock:
                 errors.append((rank, exc))
+        finally:
+            # lets blocked peers diagnose "waiting on a finished rank"
+            world.mark_finished(rank)
 
     threads = [
         threading.Thread(target=target, args=(r,), name=f"mpi-rank-{r}")

@@ -15,6 +15,7 @@ import threading
 import time
 from typing import Any, Callable, Sequence
 
+from repro.core import access
 from repro.errors import ScheduleError
 from repro.sched.policies import (
     DynamicSchedule,
@@ -61,10 +62,11 @@ def parallel_for(
     if ctx.backend == "threads":
         return _threads_parallel_for(ctx, body, items, policy, meta)
 
-    works = [float(body(item) or 0.0) for item in items]
+    works, footprints = _measure(ctx, body, items)
     if ctx.region_log is not None:
         ctx.region_log.append(("par", works))
     costs = ctx.perturb_costs(ctx.model.times_of(works))
+    meta.update(region=ctx.next_region(), rmode="par")
     result = simulate(
         costs,
         policy,
@@ -76,8 +78,21 @@ def parallel_for(
     )
     end = max(result.timeline.makespan, ctx.vclock)
     ctx.vclock = end + ctx.model.fork_join_overhead
-    ctx.record_timeline(result.timeline)
+    ctx.record_timeline(result.timeline, footprints=footprints)
     return result
+
+
+def _measure(ctx, body, items):
+    """Run bodies sequentially, measuring work units (and, when the run
+    collects footprints, each body's read/write regions)."""
+    if not ctx.collect_footprints:
+        return [float(body(item) or 0.0) for item in items], None
+    works, footprints = [], []
+    for item in items:
+        with access.collect() as col:
+            works.append(float(body(item) or 0.0))
+        footprints.append(col.freeze())
+    return works, footprints
 
 
 def parallel_reduce(
@@ -106,11 +121,17 @@ def parallel_reduce(
     items = list(ctx.grid) if items is None else list(items)
     acc = init
     works: list[float] = []
+    footprints: list | None = [] if ctx.collect_footprints else None
 
     def wrapped_values():
         nonlocal acc
         for item in items:
-            work, value = body(item)
+            if footprints is not None:
+                with access.collect() as col:
+                    work, value = body(item)
+                footprints.append(col.freeze())
+            else:
+                work, value = body(item)
             works.append(float(work or 0.0))
             acc = combine(acc, value)
 
@@ -143,10 +164,15 @@ def parallel_reduce(
         items=items,
         model=ctx.model,
         start_time=ctx.vclock,
-        meta={"iteration": ctx.iteration, "kind": kind},
+        meta={
+            "iteration": ctx.iteration,
+            "kind": kind,
+            "region": ctx.next_region(),
+            "rmode": "reduce",
+        },
     )
     ctx.vclock = max(res.timeline.makespan, ctx.vclock) + ctx.model.fork_join_overhead
-    ctx.record_timeline(res.timeline)
+    ctx.record_timeline(res.timeline, footprints=footprints)
     return res, acc
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Sequence
 
+from repro.core import access
 from repro.errors import DependencyError
 from repro.sched.dag_sim import simulate_dag
 from repro.sched.taskgraph import TaskGraph
@@ -61,10 +62,20 @@ class TaskRegion:
         """Submit one task; executes its body now, returns the task id."""
         if self._closed:
             raise DependencyError("task region already closed")
-        work = float(body() or 0.0)
+        if self.ctx.collect_footprints:
+            with access.collect() as col:
+                work = float(body() or 0.0)
+            footprint = col.freeze()
+        else:
+            footprint = None
+            work = float(body() or 0.0)
         cost = self.ctx.model.time_of(work)
         node_meta = dict(meta or {})
         node_meta["work"] = work
+        if footprint is not None:
+            node_meta["footprint"] = footprint
+            node_meta["depend_in"] = [str(t) for t in reads]
+            node_meta["depend_out"] = [str(t) for t in writes]
         return self.graph.add_task(
             item, cost, reads=reads, writes=writes, meta=node_meta
         )
@@ -131,7 +142,12 @@ class TaskRegion:
             ctx.nthreads,
             model=ctx.model,
             start_time=ctx.vclock,
-            meta={"iteration": ctx.iteration, "kind": self.kind},
+            meta={
+                "iteration": ctx.iteration,
+                "kind": self.kind,
+                "region": ctx.next_region(),
+                "rmode": "dag",
+            },
         )
         end = max(timeline.makespan, ctx.vclock)
         ctx.vclock = end + ctx.model.fork_join_overhead

@@ -9,7 +9,6 @@ tasks sweeping the image (paper Fig. 12).
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
 
 from repro.errors import SimulationError
 from repro.sched.costmodel import CostModel, DEFAULT_COST_MODEL
@@ -65,6 +64,7 @@ def simulate_dag(
         m = dict(base_meta)
         m.update(node.meta)
         m["tid"] = tid
+        m["preds"] = sorted(node.preds)
         timeline.append(TaskExec(node.item, cpu, t0, t1, m))
         finish[tid] = t1
         heapq.heappush(cpus, (t1, cpu))

@@ -50,7 +50,9 @@ def coverage_counts(
     return counts
 
 
-def mean_spread(trace: Trace, cpu: int, first_it: int | None = None, last_it: int | None = None) -> float:
+def mean_spread(
+    trace: Trace, cpu: int, first_it: int | None = None, last_it: int | None = None
+) -> float:
     """Mean Euclidean distance of a CPU's tile centers from their
     centroid, normalized by the image diagonal — 0 means all work in one
     spot, larger means scattered."""

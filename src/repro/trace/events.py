@@ -21,6 +21,13 @@ class TraceEvent:
     ``x, y, w, h`` locate the tile in the image (all -1 for events not
     tied to a tile); ``kind`` distinguishes tile computations from tasks
     and other instrumented sections.
+
+    ``reads`` and ``writes`` are the task's memory-access footprint:
+    tuples of ``(buf, x, y, w, h)`` regions, recorded only when the run
+    enables footprint collection (``--check-races``).  They are omitted
+    from serialized events when empty, and readers must ignore any
+    further keys they do not know, so traces stay loadable both ways
+    across versions.
     """
 
     iteration: int
@@ -33,6 +40,8 @@ class TraceEvent:
     h: int = -1
     kind: str = "tile"
     extra: dict = field(default_factory=dict)
+    reads: tuple = ()
+    writes: tuple = ()
 
     @property
     def duration(self) -> float:
@@ -46,10 +55,17 @@ class TraceEvent:
         d = asdict(self)
         if not d["extra"]:
             del d["extra"]
+        for key in ("reads", "writes"):
+            if d[key]:
+                d[key] = [list(r) for r in d[key]]
+            else:
+                del d[key]
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "TraceEvent":
+        # Deliberately picks known keys only: events written by newer
+        # versions may carry extra fields, which old readers must skip.
         return cls(
             iteration=int(d["iteration"]),
             cpu=int(d["cpu"]),
@@ -61,7 +77,16 @@ class TraceEvent:
             h=int(d.get("h", -1)),
             kind=str(d.get("kind", "tile")),
             extra=dict(d.get("extra", {})),
+            reads=_regions(d.get("reads", ())),
+            writes=_regions(d.get("writes", ())),
         )
+
+
+def _regions(raw) -> tuple:
+    """Normalize serialized footprint regions to ``(buf, x, y, w, h)`` tuples."""
+    return tuple(
+        (str(r[0]), int(r[1]), int(r[2]), int(r[3]), int(r[4])) for r in raw
+    )
 
 
 @dataclass

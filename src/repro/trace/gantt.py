@@ -10,8 +10,6 @@ SVG renderings.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.trace.events import Trace, TraceEvent
 from repro.view.colors import cpu_color
 from repro.view.svg import SvgCanvas

@@ -22,13 +22,28 @@ class TraceRecorder:
         self.events: list[TraceEvent] = []
         self.enabled = True
 
-    def record_timeline(self, timeline: Timeline, *, kind: str = "tile") -> None:
+    def record_timeline(
+        self, timeline: Timeline, *, kind: str = "tile", footprints=None
+    ) -> None:
+        """Record every exec of ``timeline``.
+
+        ``footprints``, when given, is a sequence of
+        :class:`~repro.core.access.Footprint` indexed by the exec's
+        ``meta["index"]`` (worksharing and sequential regions).  DAG
+        regions instead carry their footprint inline as
+        ``meta["footprint"]``.
+        """
         if not self.enabled:
             return
         for e in timeline.execs:
-            self.record_exec(e, kind=kind)
+            fp = None
+            if footprints is not None and "index" in e.meta:
+                idx = e.meta["index"]
+                if 0 <= idx < len(footprints):
+                    fp = footprints[idx]
+            self.record_exec(e, kind=kind, footprint=fp)
 
-    def record_exec(self, e: TaskExec, *, kind: str = "tile") -> None:
+    def record_exec(self, e: TaskExec, *, kind: str = "tile", footprint=None) -> None:
         if not self.enabled:
             return
         item = e.item
@@ -36,8 +51,12 @@ class TraceRecorder:
             x, y, w, h = item.as_rect()
         else:
             x = y = w = h = -1
+        if footprint is None:
+            footprint = e.meta.get("footprint")
         extra = {
-            k: v for k, v in e.meta.items() if k not in ("iteration", "kind")
+            k: v
+            for k, v in e.meta.items()
+            if k not in ("iteration", "kind", "footprint")
         }
         self.events.append(
             TraceEvent(
@@ -51,6 +70,8 @@ class TraceRecorder:
                 h=h,
                 kind=str(e.meta.get("kind", kind)),
                 extra=extra,
+                reads=footprint.reads if footprint is not None else (),
+                writes=footprint.writes if footprint is not None else (),
             )
         )
 

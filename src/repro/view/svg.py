@@ -56,14 +56,17 @@ class SvgCanvas:
             self._parts.append(f"<rect {attrs}/>")
 
     def line(
-        self, x1: float, y1: float, x2: float, y2: float, *, stroke: str = "#000000", width: float = 1.0
+        self, x1: float, y1: float, x2: float, y2: float,
+        *, stroke: str = "#000000", width: float = 1.0
     ) -> None:
         self._parts.append(
             f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" y2="{_fmt(y2)}" '
             f'stroke="{stroke}" stroke-width="{_fmt(width)}"/>'
         )
 
-    def polyline(self, points: list[tuple[float, float]], *, stroke: str, width: float = 1.5) -> None:
+    def polyline(
+        self, points: list[tuple[float, float]], *, stroke: str, width: float = 1.5
+    ) -> None:
         pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
         self._parts.append(
             f'<polyline points="{pts}" fill="none" stroke="{stroke}" stroke-width="{_fmt(width)}"/>'

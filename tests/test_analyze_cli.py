@@ -1,0 +1,126 @@
+"""End-to-end tests for the analysis CLI surfaces:
+``easypap --check-races/--lint/--load``, ``easyview --races`` and
+``python -m repro.analyze``."""
+
+from pathlib import Path
+
+from repro.analyze.__main__ import main as analyze_main
+from repro.cli import main as easypap_main
+from repro.easyview_cli import main as easyview_main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+BUGGY_BLUR = str(EXAMPLES / "buggy_blur_writes_cur.py")
+BUGGY_LIFE = str(EXAMPLES / "buggy_life_taskdeps.py")
+
+
+class TestEasypapCheckRaces:
+    def test_clean_variant_exits_zero(self, capsys):
+        rc = easypap_main(
+            ["-k", "blur", "-v", "omp_tiled", "-s", "64", "-ts", "16",
+             "-i", "2", "--check-races"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no data races" in out
+
+    def test_buggy_kernel_exits_one_with_report(self, capsys):
+        rc = easypap_main(
+            ["--load", BUGGY_BLUR, "-k", "blur_buggy", "-v", "omp_tiled",
+             "-s", "64", "-ts", "16", "-i", "2", "--check-races"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "read-write race on buffer 'cur'" in out
+        assert "task #" in out and "tile x=" in out
+
+    def test_lint_flag_full_report(self, capsys):
+        rc = easypap_main(
+            ["--load", BUGGY_LIFE, "-k", "life_buggy", "-v", "omp_task",
+             "-s", "64", "-ts", "16", "-i", "2", "--lint"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "life_buggy/omp_task" in out
+        assert "missing ordering edge" in out
+
+    def test_mpi_variant_checked_per_rank(self, capsys):
+        rc = easypap_main(
+            ["-k", "blur", "-v", "mpi_omp", "-s", "64", "-ts", "16",
+             "-i", "2", "--mpirun", "-np 2", "--check-races"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("no data races") == 2
+
+    def test_load_registers_kernel_for_listing(self, capsys):
+        rc = easypap_main(["--load", BUGGY_BLUR, "--list-kernels"])
+        assert rc == 0
+        assert "blur_buggy" in capsys.readouterr().out
+
+    def test_load_missing_file_is_error(self, capsys):
+        rc = easypap_main(["--load", str(EXAMPLES / "nope.py"), "-k", "blur"])
+        assert rc == 2
+
+    def test_deterministic_reports(self, capsys):
+        argv = ["--load", BUGGY_BLUR, "-k", "blur_buggy", "-v", "omp_tiled",
+                "-s", "64", "-ts", "16", "-i", "2", "--check-races"]
+        easypap_main(argv)
+        first = capsys.readouterr().out
+        easypap_main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestEasyviewRaces:
+    def _record(self, tmp_path, extra_argv=()):
+        trace = tmp_path / "t.evt"
+        rc = easypap_main(
+            [*extra_argv, "-s", "64", "-ts", "16", "-i", "2",
+             "--check-races", "-t", "--trace-file", str(trace)]
+        )
+        return rc, trace
+
+    def test_roundtrip_buggy_trace(self, tmp_path, capsys):
+        rc, trace = self._record(
+            tmp_path, ["--load", BUGGY_BLUR, "-k", "blur_buggy", "-v", "omp_tiled"]
+        )
+        assert rc == 1 and trace.exists()
+        capsys.readouterr()
+        rc = easyview_main([str(trace), "--races"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "race analysis:" in out
+        assert "read-write race on buffer 'cur'" in out
+
+    def test_roundtrip_clean_trace(self, tmp_path, capsys):
+        rc, trace = self._record(tmp_path, ["-k", "life", "-v", "omp_tiled"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = easyview_main([str(trace), "--races"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no data races" in out
+
+    def test_footprint_free_trace_noted(self, tmp_path, capsys):
+        trace = tmp_path / "nofp.evt"
+        easypap_main(["-k", "mandel", "-v", "omp_tiled", "-s", "64", "-ts",
+                      "16", "-t", "--trace-file", str(trace)])
+        capsys.readouterr()
+        rc = easyview_main([str(trace), "--races"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no footprints" in out
+
+
+class TestAnalyzeSweep:
+    def test_single_kernel_sweep_clean(self, capsys):
+        rc = analyze_main(["-k", "mandel", "-k", "blur"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_verbose_lists_variants(self, capsys):
+        rc = analyze_main(["-k", "mandel", "-v"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mandel/omp_tiled: ok" in out

@@ -1,0 +1,162 @@
+"""Tests for the kernel-variant lint (partition, double-buffer, AST)."""
+
+from repro.analyze.lint import (
+    lint_variant,
+    partition_findings,
+    static_findings,
+)
+from repro.core.kernel import Kernel, get_kernel
+from repro.trace.events import Trace, TraceEvent, TraceMeta
+
+
+def region_trace(tiles, dim=32, rmode="par"):
+    """A synthetic one-region trace with the given (x, y, w, h) tiles."""
+    events = [
+        TraceEvent(
+            iteration=1, cpu=0, start=float(i), end=i + 0.5,
+            x=x, y=y, w=w, h=h,
+            extra={"index": i, "region": 0, "rmode": rmode},
+        )
+        for i, (x, y, w, h) in enumerate(tiles)
+    ]
+    return Trace(TraceMeta(kernel="k", variant="v", dim=dim), events)
+
+
+class TestPartitionChecks:
+    def test_full_partition_is_clean(self):
+        tiles = [(x, y, 16, 16) for y in (0, 16) for x in (0, 16)]
+        assert partition_findings(region_trace(tiles)) == []
+
+    def test_overlap_is_error_naming_both_tasks(self):
+        tiles = [(0, 0, 16, 32), (16, 0, 16, 32), (8, 0, 16, 32)]
+        findings = partition_findings(region_trace(tiles))
+        assert [f.level for f in findings] == ["error"]
+        assert findings[0].check == "partition-overlap"
+        assert "task #0" in findings[0].message
+        assert "task #2" in findings[0].message
+        assert "pixel (x=8, y=0)" in findings[0].message
+
+    def test_gap_is_warning(self):
+        tiles = [(0, 0, 16, 32), (16, 0, 16, 16)]  # bottom-right missing
+        findings = partition_findings(region_trace(tiles))
+        assert [f.level for f in findings] == ["warning"]
+        assert findings[0].check == "partition-gap"
+        assert "pixel (x=16, y=16)" in findings[0].message
+
+    def test_lazy_suppresses_gap_not_overlap(self):
+        gap = [(0, 0, 16, 32)]
+        assert partition_findings(region_trace(gap), lazy=True) == []
+        overlap = [(0, 0, 16, 32), (8, 0, 16, 32)]
+        assert len(partition_findings(region_trace(overlap), lazy=True)) == 1
+
+    def test_non_tile_regions_skipped(self):
+        t = region_trace([(0, 0, 16, 32)])
+        for e in t.events:
+            object.__setattr__(e, "x", -1)
+            object.__setattr__(e, "y", -1)
+        assert partition_findings(t) == []
+
+
+class TestSharedAccumulatorAst:
+    def test_parallel_for_nonlocal_flagged(self):
+        class BadKernel(Kernel):
+            name = "bad-acc"
+
+            def compute_omp(self, ctx, nb_iter):
+                total = 0
+
+                def body(t):
+                    nonlocal total
+                    total += t.area
+                    return t.area
+
+                ctx.parallel_for(body)
+                return 0
+
+            compute_omp._variant_name = "omp"
+
+        findings = static_findings(BadKernel(), "omp")
+        assert [f.check for f in findings] == ["shared-accumulator"] * len(findings)
+        assert findings
+        assert "parallel_reduce" in findings[0].message
+
+    def test_augassign_on_free_name_flagged(self):
+        class BadKernel2(Kernel):
+            name = "bad-acc2"
+
+            def compute_omp(self, ctx, nb_iter):
+                ctx.parallel_for(lambda t: acc.__iadd__(1))  # noqa: F821
+                best = [0]
+
+                def body(t):
+                    best += [t]  # AugAssign on captured name
+                    return 0.0
+
+                ctx.parallel_for(body)
+                return 0
+
+            compute_omp._variant_name = "omp"
+
+        findings = static_findings(BadKernel2(), "omp")
+        assert any("best" in f.message for f in findings)
+
+    def test_body_local_accumulator_not_flagged(self):
+        class GoodKernel(Kernel):
+            name = "good-acc"
+
+            def compute_omp(self, ctx, nb_iter):
+                def body(t):
+                    acc = 0
+                    for v in range(4):
+                        acc += v  # local: bound by assignment above
+                    return float(acc)
+
+                ctx.parallel_for(body)
+                return 0
+
+            compute_omp._variant_name = "omp"
+
+        assert static_findings(GoodKernel(), "omp") == []
+
+    def test_parallel_reduce_mutation_message(self):
+        class BadReduce(Kernel):
+            name = "bad-reduce"
+
+            def compute_omp(self, ctx, nb_iter):
+                state = 0
+
+                def body(t):
+                    nonlocal state
+                    state += 1
+                    return state
+
+                ctx.parallel_reduce(body, list(ctx.grid), 0.0, max)
+                return 0
+
+            compute_omp._variant_name = "omp"
+
+        findings = static_findings(BadReduce(), "omp")
+        assert findings
+        assert "must" in findings[0].message and "return" in findings[0].message
+
+    def test_builtin_variants_pass_static_lint(self):
+        for name in ("mandel", "blur", "life", "spin", "heat"):
+            kernel = get_kernel(name)
+            for v in kernel.variant_names():
+                assert static_findings(kernel, v) == [], (name, v)
+
+
+class TestLintVariantDriver:
+    def test_clean_builtin(self):
+        result = lint_variant("mandel", "omp_tiled")
+        assert result.clean
+        assert "ok" in result.describe()
+
+    def test_mpi_variant_lints_every_rank(self):
+        result = lint_variant("blur", "mpi_omp", mpi_np=2)
+        assert result.clean
+        assert len(result.race_results) == 2  # one trace per rank
+
+    def test_lazy_variant_no_gap_warnings(self):
+        result = lint_variant("life", "lazy", iterations=4)
+        assert result.warnings == []

@@ -1,6 +1,5 @@
 """Tests for the LRU cache model and per-task counters (EXT1)."""
 
-import pytest
 
 from repro.core.engine import run
 from repro.monitor.cache import (

@@ -1,6 +1,5 @@
 """Tests for the easypap CLI."""
 
-import pytest
 
 from repro.cli import config_from_args, main, parse_args
 

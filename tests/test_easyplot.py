@@ -47,7 +47,7 @@ class TestLegend:
         rows.append({**rows[0], "machine": "other"})
         spec = build_plot(rows, x="threads", col="tile_w")
         labels = {s.label for s in spec.facets[0].series}
-        assert any("machine=" in l for l in labels)
+        assert any("machine=" in lbl for lbl in labels)
 
     def test_header_lists_constants(self):
         spec = build_plot(rows_fixture(), x="threads", col="tile_w")

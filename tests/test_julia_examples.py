@@ -1,10 +1,8 @@
 """Tests for the Julia mode of mandel + smoke tests for the examples."""
 
 import runpy
-import sys
 
 import numpy as np
-import pytest
 
 from repro.core.engine import run
 from repro.kernels.mandel import mandel_counts

@@ -5,7 +5,6 @@ index) with small sizes, asserting the *shape* the paper reports.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.engine import run
 from repro.trace.compare import TraceComparison

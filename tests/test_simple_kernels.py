@@ -1,7 +1,6 @@
 """Tests for the simple kernels: none, invert, transpose, pixelize."""
 
 import numpy as np
-import pytest
 
 from repro.core.engine import run
 from tests.conftest import make_config

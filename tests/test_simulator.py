@@ -11,7 +11,6 @@ from repro.sched.policies import (
     GuidedSchedule,
     NonMonotonicDynamic,
     StaticSchedule,
-    parse_schedule,
 )
 from repro.sched.simulator import simulate
 

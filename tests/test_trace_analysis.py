@@ -1,6 +1,5 @@
 """Tests for EASYVIEW analysis: Gantt, coverage, comparison, stats."""
 
-import numpy as np
 import pytest
 
 from repro.core.engine import run
@@ -64,7 +63,7 @@ class TestGantt:
         r = traced_run()
         text = GanttChart(r.trace).to_ascii(width=40)
         lines = text.splitlines()
-        assert len([l for l in lines if l.startswith("CPU")]) == 4
+        assert len([ln for ln in lines if ln.startswith("CPU")]) == 4
         assert "#" in text
 
     def test_empty_ascii(self):

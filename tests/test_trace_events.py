@@ -1,6 +1,5 @@
 """Tests for the trace data model."""
 
-import pytest
 
 from repro.trace.events import Trace, TraceEvent, TraceMeta
 

@@ -89,6 +89,48 @@ class TestErrors:
         assert len(loaded) == 2
 
 
+class TestForwardCompat:
+    """Events written by newer versions may carry keys this reader does
+    not know (the ``reads``/``writes`` footprint extension set the
+    precedent); loading must skip them instead of failing."""
+
+    def test_unknown_event_keys_ignored(self):
+        d = sample_trace(1).events[0].to_dict()
+        d["gpu_queue"] = 3  # hypothetical future fields
+        d["spans"] = [[0.0, 1.0]]
+        e = TraceEvent.from_dict(d)
+        assert e.iteration == 1 and e.cpu == 0 and e.w == 16
+        assert not hasattr(e, "gpu_queue")
+
+    def test_unknown_keys_in_file(self, tmp_path):
+        p = save_trace(sample_trace(2), tmp_path / "t.evt")
+        lines = p.read_text().splitlines()
+        evt = json.loads(lines[1])
+        evt["future_field"] = {"nested": [1, 2, 3]}
+        lines[1] = json.dumps(evt)
+        p.write_text("\n".join(lines) + "\n")
+        loaded = load_trace(p)
+        assert len(loaded) == 2
+        assert loaded.events[0].extra == {"index": 0}
+
+    def test_footprints_roundtrip(self, tmp_path):
+        events = [
+            TraceEvent(
+                iteration=1, cpu=0, start=0.0, end=1.0, x=0, y=0, w=16, h=16,
+                reads=(("cur", 0, 0, 17, 17),),
+                writes=(("next", 0, 0, 16, 16),),
+            )
+        ]
+        t = Trace(TraceMeta(kernel="blur"), events)
+        loaded = load_trace(save_trace(t, tmp_path / "f.evt"))
+        assert loaded.events[0].reads == (("cur", 0, 0, 17, 17),)
+        assert loaded.events[0].writes == (("next", 0, 0, 16, 16),)
+
+    def test_empty_footprints_omitted_from_serialization(self):
+        d = sample_trace(1).events[0].to_dict()
+        assert "reads" not in d and "writes" not in d
+
+
 class TestEngineIntegration:
     def test_engine_trace_roundtrips(self, tmp_path):
         from repro.core.engine import run

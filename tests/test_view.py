@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.image import rgb
+from repro.errors import ConfigError
 from repro.monitor.records import IterationRecord
 from repro.view.ascii import (
     render_activity,
@@ -15,7 +16,6 @@ from repro.view.colors import cpu_color, cpu_palette, heat_color, heat_image
 from repro.view.ppm import load_ppm, packed_to_rgb, save_pgm, save_ppm
 from repro.view.svg import SvgCanvas
 from repro.view.thumbnail import heat_tile_image, thumbnail, tiling_image
-from repro.errors import ConfigError
 
 
 class TestColors:
