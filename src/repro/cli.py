@@ -21,17 +21,19 @@ the terminal versions of the Tiling and Activity windows.
 from __future__ import annotations
 
 import argparse
+import io
 import sys
+from contextlib import redirect_stderr, redirect_stdout
 from pathlib import Path
 
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
-from repro.errors import EasypapError
+from repro.errors import ConfigError, EasypapError
 from repro.mpi.launcher import parse_mpirun_args
 from repro.omp.icv import resolve_icvs
 
-__all__ = ["build_parser", "parse_args", "config_from_args", "main"]
+__all__ = ["build_parser", "parse_args", "parse_args_strict", "config_from_args", "main"]
 
 #: options whose value legitimately starts with a dash (argparse would
 #: otherwise mistake "-np 2" for an option)
@@ -60,6 +62,28 @@ def parse_args(argv: list[str] | None = None):
         argv = sys.argv[1:]
     argv = _preprocess_argv(list(argv))
     return build_parser().parse_args(argv)
+
+
+def parse_args_strict(
+    argv: list[str], parser: argparse.ArgumentParser | None = None
+) -> argparse.Namespace:
+    """Parse an easypap command line without ever exiting the process.
+
+    ``argparse`` reports errors by printing usage and raising
+    ``SystemExit`` — fatal for library callers (an option typo in a
+    student's expTools script would kill the interpreter mid-sweep).
+    This wrapper converts any parser exit into a :class:`ConfigError`
+    carrying argparse's own message.
+    """
+    parser = parser if parser is not None else build_parser()
+    buf = io.StringIO()
+    try:
+        with redirect_stderr(buf), redirect_stdout(buf):
+            return parser.parse_args(_preprocess_argv(list(argv)))
+    except SystemExit:
+        lines = [ln for ln in buf.getvalue().strip().splitlines() if ln]
+        detail = lines[-1] if lines else "invalid arguments"
+        raise ConfigError(f"bad easypap arguments {argv!r}: {detail}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:

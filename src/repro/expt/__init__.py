@@ -1,22 +1,42 @@
 """Experiment tools: expTools sweeps, the results CSV, easyplot."""
 
-from repro.expt.csvdb import append_rows, filter_rows, read_rows, unique_values
+from repro.expt.csvdb import (
+    append_rows,
+    filter_rows,
+    locked,
+    read_header,
+    read_rows,
+    unique_values,
+)
 from repro.expt.easyplot import PlotFacet, PlotSeries, PlotSpec, build_plot
-from repro.expt.exptools import execute, sweep_configs
+from repro.expt.exptools import (
+    SweepTimeout,
+    completed_points,
+    execute,
+    point_key,
+    sweep_configs,
+    sweep_points,
+)
 from repro.expt.plotting import render_ascii_chart, render_svg, render_text
 from repro.expt.replay import WorkProfileCache, capture_log, replay_log
 
 __all__ = [
     "append_rows",
     "filter_rows",
+    "locked",
+    "read_header",
     "read_rows",
     "unique_values",
     "PlotFacet",
     "PlotSeries",
     "PlotSpec",
     "build_plot",
+    "SweepTimeout",
+    "completed_points",
     "execute",
+    "point_key",
     "sweep_configs",
+    "sweep_points",
     "render_ascii_chart",
     "render_svg",
     "render_text",

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.expt`` (the sweep runner CLI)."""
+
+from repro.expt.sweep_cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,8 +22,8 @@ from repro.expt.csvdb import filter_rows, unique_values
 
 __all__ = ["PlotSeries", "PlotFacet", "PlotSpec", "build_plot"]
 
-#: per-run measurement columns — never part of legends or titles
-AGG_COLUMNS = {"run", "time_us", "completed"}
+#: per-run measurement/bookkeeping columns — never part of legends or titles
+AGG_COLUMNS = {"run", "time_us", "completed", "status", "error"}
 
 
 @dataclass
@@ -109,6 +109,9 @@ def build_plot(
     speedups against ``ref_time_us`` (``--speedup``), and keyword
     filters restrict the data (``kernel="mandel"``).
     """
+    # failed sweep points (exptools timeout/retries exhausted) carry no
+    # measurement — keep them out of curves and reference times
+    rows = [r for r in rows if r.get("status", "ok") != "error"]
     filtered = filter_rows(rows, **filters)
     if not filtered:
         raise PlotError(f"no rows match filters {filters!r}")

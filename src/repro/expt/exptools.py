@@ -18,35 +18,74 @@ and the CLI parser are the same ones the ``easypap`` command uses) and
 appends one CSV row per run, with every parameter recorded, ready for
 ``easyplot``.
 
-For sweeps where only the *schedule dimensions* vary (threads,
-schedule), pass ``reuse_work=True``: per-tile work is computed once per
-(kernel, size, grain, iterations) and the scheduling is re-simulated for
-each configuration — hundreds of configurations in seconds, with
-results identical to full runs (work is deterministic).
+Large sweeps are a first-class workload, not a for-loop:
+
+* ``workers=N`` fans the (configuration, repetition) grid out over a
+  ``multiprocessing`` pool; results stream back and are appended to
+  the CSV **as they finish**, so a killed sweep keeps every completed
+  point (results are deterministic, so parallel and serial sweeps
+  yield identical rows).
+* ``resume=True`` skips points already recorded in the CSV (keyed by
+  the configuration's ``csv_row()`` identity plus the ``run`` index) —
+  re-invoking a crashed or extended sweep only runs what is missing.
+  Rows recorded with ``status=error`` are retried.
+* ``timeout=``/``retries=`` bound each point: a failing or overrunning
+  run becomes a ``status=error`` row instead of aborting the sweep.
+* ``reuse_work=True`` computes per-tile work once per (kernel, size,
+  grain, iterations) and re-simulates the scheduling for each
+  configuration — hundreds of configurations in seconds, with results
+  identical to full runs (work is deterministic).  With ``cache_dir=``
+  (or ``$REPRO_WORK_CACHE``) the captured profiles persist on disk and
+  are shared across workers *and* across invocations.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import shlex
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from itertools import product
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
-from repro.cli import build_parser, config_from_args
+from repro.cli import build_parser, config_from_args, parse_args_strict
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.errors import ConfigError
-from repro.expt.csvdb import append_rows
+from repro.expt.csvdb import append_rows, read_header, read_rows
 from repro.expt.replay import WorkProfileCache
 
-__all__ = ["execute", "sweep_configs", "easypap_options", "omp_icv", "DEFAULT_CSV"]
+__all__ = [
+    "execute",
+    "sweep_configs",
+    "sweep_points",
+    "completed_points",
+    "easypap_options",
+    "omp_icv",
+    "DEFAULT_CSV",
+    "SweepTimeout",
+]
 
 DEFAULT_CSV = "perf_data.csv"
 
 #: module-level dicts so student scripts can mirror the paper verbatim
 easypap_options: dict[str, list] = {}
 omp_icv: dict[str, list] = {}
+
+#: the columns identifying one sweep point (a configuration + repetition);
+#: mirrors RunConfig.csv_row() + the run index
+IDENTITY_COLUMNS = (
+    "kernel", "variant", "dim", "tile_w", "tile_h", "iterations",
+    "threads", "schedule", "backend", "arg", "np", "run",
+)
+
+
+class SweepTimeout(Exception):
+    """A single sweep point exceeded its ``timeout=`` budget."""
 
 
 def _combinations(spec: Mapping[str, Sequence]) -> list[dict[str, Any]]:
@@ -80,17 +119,185 @@ def sweep_configs(
     icvs: Mapping[str, Sequence] | None = None,
     options: Mapping[str, Sequence] | None = None,
 ) -> list[tuple[RunConfig, dict[str, str]]]:
-    """All (RunConfig, env) pairs of the sweep's cartesian product."""
+    """All (RunConfig, env) pairs of the sweep's cartesian product.
+
+    Malformed options raise :class:`ConfigError` (never ``SystemExit``:
+    a typo in a sweep script must not kill the interpreter mid-sweep).
+    """
     parser = build_parser()
     configs = []
     for opt_combo in _combinations(options or {}):
         argv = _argv_of(opt_combo)
         for icv_combo in _combinations(icvs or {}):
             env = _env_of(icv_combo)
-            args = parser.parse_args(argv)
+            args = parse_args_strict(argv, parser)
             configs.append((config_from_args(args, env=env), env))
     return configs
 
+
+# -- point identity (resume) --------------------------------------------------
+
+def point_key(row: Mapping[str, Any]) -> tuple[str, ...]:
+    """Canonical identity of a sweep point from a CSV row or row dict.
+
+    Cells are compared as strings so typed reads (``4``) and config
+    values (``"4"``) key identically.
+    """
+    return tuple(str(row.get(c, "")) for c in IDENTITY_COLUMNS)
+
+
+def sweep_points(
+    icvs: Mapping[str, Sequence] | None = None,
+    options: Mapping[str, Sequence] | None = None,
+    runs: int = 1,
+) -> list[tuple[RunConfig, int]]:
+    """The full (configuration, repetition) grid of a sweep."""
+    return [
+        (config, rep)
+        for config, _env in sweep_configs(icvs, options)
+        for rep in range(runs)
+    ]
+
+
+def completed_points(csv_path: str | os.PathLike) -> set[tuple[str, ...]]:
+    """Identity keys of the points already recorded in ``csv_path``.
+
+    ``status=error`` rows do not count (they are retried on resume);
+    in files written with a ``status`` column, neither do truncated
+    rows whose status cell never made it to disk.  Legacy files
+    without the column count every row.
+    """
+    p = Path(csv_path)
+    if not p.exists():
+        return set()
+    header = read_header(p)
+    if header is None:
+        return set()
+    has_status = "status" in header
+    done = set()
+    for r in read_rows(p):
+        status = r.get("status", "")
+        if has_status and status != "ok":
+            continue
+        done.add(point_key(r))
+    return done
+
+
+# -- running one point --------------------------------------------------------
+
+@contextmanager
+def _time_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`SweepTimeout` after ``seconds`` of wall time.
+
+    Implemented with ``SIGALRM``, so it is enforced only on POSIX main
+    threads (each pool worker's task runs on its main thread); elsewhere
+    it degrades to a no-op rather than failing the sweep.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise SweepTimeout(f"run exceeded {seconds}s")
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+def _execute_point(
+    config: RunConfig,
+    rep: int,
+    *,
+    cache: WorkProfileCache | None,
+    machine: str,
+    timeout: float | None,
+    retries: int,
+) -> dict:
+    """One (configuration, repetition): a CSV row, never an exception.
+
+    Failures and timeouts are retried up to ``retries`` times, then
+    recorded as a ``status=error`` row so the rest of the sweep (and
+    ``easyplot`` over its output) keeps working.
+    """
+    rep_cfg = config.with_(run_index=rep)
+    row = dict(config.csv_row())
+    row["machine"] = machine
+    row["run"] = rep
+    last_error = ""
+    for _attempt in range(max(0, retries) + 1):
+        try:
+            with _time_limit(timeout):
+                if cache is not None:
+                    elapsed = cache.simulate(rep_cfg)
+                    completed = rep_cfg.iterations
+                else:
+                    result = run(rep_cfg)
+                    elapsed = result.elapsed
+                    completed = result.completed_iterations
+        except SweepTimeout as exc:
+            last_error = str(exc)
+            continue
+        except Exception as exc:
+            last_error = f"{type(exc).__name__}: {exc}"
+            continue
+        row["time_us"] = round(elapsed * 1e6, 3)
+        row["completed"] = completed
+        row["status"] = "ok"
+        row["error"] = ""
+        return row
+    row["time_us"] = ""
+    row["completed"] = 0
+    row["status"] = "error"
+    row["error"] = last_error[:200]
+    return row
+
+
+# -- the worker-pool side -----------------------------------------------------
+
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_worker(reuse_work: bool, cache_dir, machine: str,
+                 timeout: float | None, retries: int) -> None:
+    _WORKER_STATE["cache"] = (
+        WorkProfileCache(cache_dir=cache_dir) if reuse_work else None
+    )
+    _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["timeout"] = timeout
+    _WORKER_STATE["retries"] = retries
+
+
+def _pool_point(job: tuple[RunConfig, int]) -> dict:
+    config, rep = job
+    return _execute_point(
+        config,
+        rep,
+        cache=_WORKER_STATE["cache"],
+        machine=_WORKER_STATE["machine"],
+        timeout=_WORKER_STATE["timeout"],
+        retries=_WORKER_STATE["retries"],
+    )
+
+
+def _pool_context():
+    """Fork where available (cheap, shares the kernel registry); spawn
+    otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# -- the driver ---------------------------------------------------------------
 
 def execute(
     prog: str = "easypap",
@@ -102,40 +309,83 @@ def execute(
     machine: str = "virtual",
     reuse_work: bool = False,
     verbose: bool = False,
+    workers: int = 1,
+    resume: bool = False,
+    timeout: float | None = None,
+    retries: int = 0,
+    cache_dir: str | os.PathLike | None = None,
 ) -> list[dict]:
-    """Run the sweep; returns (and appends to ``csv_path``) the rows.
+    """Run the sweep; returns (and appends to ``csv_path``) the new rows.
 
     ``prog`` is accepted for fidelity with the paper's script; only
-    'easypap' is meaningful.
+    'easypap' is meaningful.  With ``resume=True`` the returned list
+    holds only the points actually (re-)run this invocation; skipped
+    points stay untouched in the CSV.
     """
     if prog not in ("easypap", "./run", "run"):
         raise ConfigError(f"unknown program {prog!r} (expected 'easypap')")
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
     icvs = icvs if icvs is not None else omp_icv
     options = options if options is not None else easypap_options
-    cache = WorkProfileCache() if reuse_work else None
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_WORK_CACHE") or None
+
+    jobs = sweep_points(icvs, options, runs)
+    total = len(jobs)
+    if resume:
+        done = completed_points(csv_path)
+        jobs = [
+            (config, rep)
+            for config, rep in jobs
+            if point_key({**config.csv_row(), "run": rep}) not in done
+        ]
+        if verbose and len(jobs) < total:
+            print(f"resume: {total - len(jobs)}/{total} points already recorded")
+
     rows: list[dict] = []
-    for config, env in sweep_configs(icvs, options):
-        for rep in range(runs):
-            rep_cfg = config.with_(run_index=rep)
-            started = time.perf_counter()
-            if cache is not None:
-                elapsed = cache.simulate(rep_cfg)
-                completed = rep_cfg.iterations
-            else:
-                result = run(rep_cfg)
-                elapsed = result.elapsed
-                completed = result.completed_iterations
-            row = dict(config.csv_row())
-            row["machine"] = machine
-            row["time_us"] = round(elapsed * 1e6, 3)
-            row["run"] = rep
-            row["completed"] = completed
-            rows.append(row)
-            if verbose:
-                real = time.perf_counter() - started
-                print(
-                    f"[{len(rows)}] {config.label()} run={rep} "
-                    f"time={elapsed * 1e3:.3f} ms (took {real:.2f}s)"
-                )
-    append_rows(csv_path, rows)
+    started = time.perf_counter()
+
+    def record(row: dict) -> None:
+        append_rows(csv_path, [row])
+        rows.append(row)
+        if verbose:
+            shown = (
+                f"time={row['time_us']}us" if row["status"] == "ok"
+                else f"error: {row['error']}"
+            )
+            print(
+                f"[{len(rows)}/{len(jobs)}] kernel={row['kernel']} "
+                f"threads={row['threads']} schedule={row['schedule']} "
+                f"run={row['run']} {shown}"
+            )
+
+    if workers == 1 or len(jobs) <= 1:
+        cache = WorkProfileCache(cache_dir=cache_dir) if reuse_work else None
+        for config, rep in jobs:
+            record(_execute_point(config, rep, cache=cache, machine=machine,
+                                  timeout=timeout, retries=retries))
+    else:
+        if reuse_work:
+            # keep each workload's points contiguous so one worker
+            # captures the profile and replays the rest from memory
+            jobs.sort(key=lambda j: (WorkProfileCache.workload_key(j[0]), j[1]))
+            chunksize = max(1, len(jobs) // (workers * 4))
+        else:
+            chunksize = 1
+        ctx = _pool_context()
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(reuse_work, cache_dir, machine, timeout, retries),
+        ) as pool:
+            for row in pool.imap_unordered(_pool_point, jobs, chunksize=chunksize):
+                record(row)
+
+    if verbose:
+        wall = time.perf_counter() - started
+        print(f"sweep: {len(rows)} points in {wall:.2f}s "
+              f"({workers} worker{'s' if workers > 1 else ''})")
     return rows

@@ -14,7 +14,11 @@ of configurations x 10 repetitions) run in seconds.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.config import RunConfig
 from repro.core.context import ExecutionContext
@@ -100,10 +104,24 @@ def replay_log(
     return vclock
 
 
+#: bump when the persisted profile layout changes; older files are
+#: silently ignored (and re-captured), never misread
+CACHE_FORMAT = 1
+
+
 @dataclass
 class WorkProfileCache:
-    """Memoizes work profiles by workload key; replays per configuration."""
+    """Memoizes work profiles by workload key; replays per configuration.
 
+    With ``cache_dir`` set, profiles are also persisted to disk,
+    content-addressed by the workload key — concurrent sweep workers
+    and *later invocations* share captures instead of redoing them.
+    Files are written atomically (tmp + ``os.replace``) and verified
+    against their key on load, so a corrupt or stale cache entry can
+    only ever cause a re-capture, never a wrong result.
+    """
+
+    cache_dir: str | os.PathLike | None = None
     _cache: dict[tuple, tuple[RegionLog, CostModel]] = field(default_factory=dict)
 
     @staticmethod
@@ -122,11 +140,47 @@ class WorkProfileCache:
             config.backend,
         )
 
+    def _disk_path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr((CACHE_FORMAT, key)).encode()).hexdigest()
+        return Path(self.cache_dir) / f"profile-{digest[:40]}.pkl"
+
+    def _load_disk(self, path: Path, key: tuple):
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+                return None
+            return payload["log"], payload["model"]
+        except Exception:
+            return None
+
+    def _store_disk(self, path: Path, key: tuple, profile) -> None:
+        log, model = profile
+        payload = {"format": CACHE_FORMAT, "key": key, "log": log, "model": model}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh)
+            os.replace(tmp, path)
+        except OSError:  # the cache is an optimization, never fatal
+            tmp.unlink(missing_ok=True)
+
     def profile(self, config: RunConfig) -> tuple[RegionLog, CostModel]:
         key = self.workload_key(config)
-        if key not in self._cache:
-            self._cache[key] = capture_log(config)
-        return self._cache[key]
+        if key in self._cache:
+            return self._cache[key]
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            cached = self._load_disk(path, key)
+            if cached is not None:
+                self._cache[key] = cached
+                return cached
+        profile = capture_log(config)
+        self._cache[key] = profile
+        if self.cache_dir is not None:
+            self._store_disk(self._disk_path(key), key, profile)
+        return profile
 
     def simulate(self, config: RunConfig) -> float:
         """Elapsed virtual seconds of ``config`` (captures on first use)."""

@@ -230,12 +230,17 @@ def parse_schedule(spec: str) -> SchedulePolicy:
             raise ScheduleError(f"bad chunk size {chunk_s!r} in {spec!r}") from None
     if kind == "static":
         if nonmonotonic:
-            raise ScheduleError("nonmonotonic applies to dynamic/guided only")
+            raise ScheduleError("nonmonotonic applies to dynamic only")
         return StaticSchedule(chunk)
     if kind == "dynamic":
         if nonmonotonic:
             return NonMonotonicDynamic(chunk if chunk is not None else 1)
         return DynamicSchedule(chunk if chunk is not None else 1)
     if kind == "guided":
+        if nonmonotonic:
+            raise ScheduleError(
+                "nonmonotonic applies to dynamic only "
+                "(guided work-stealing is not modelled)"
+            )
         return GuidedSchedule(chunk if chunk is not None else 1)
     raise ScheduleError(f"unknown schedule kind {kind!r} in {spec!r}")

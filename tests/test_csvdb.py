@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import PlotError
-from repro.expt.csvdb import append_rows, filter_rows, read_rows, unique_values
+from repro.expt.csvdb import (
+    _parse_cell,
+    append_rows,
+    filter_rows,
+    read_header,
+    read_rows,
+    unique_values,
+)
 
 
 class TestAppendRead:
@@ -41,6 +48,68 @@ class TestAppendRead:
     def test_parent_dirs_created(self, tmp_path):
         p = append_rows(tmp_path / "sub" / "dir" / "r.csv", [{"x": 1}])
         assert p.exists()
+
+    def test_matching_append_never_rewrites_existing_bytes(self, tmp_path):
+        p = tmp_path / "r.csv"
+        append_rows(p, [{"a": 1, "note": "0x10"}])
+        before = p.read_text()
+        append_rows(p, [{"a": 2, "note": "y"}])
+        assert p.read_text().startswith(before)
+
+    def test_schema_growth_preserves_existing_cells_verbatim(self, tmp_path):
+        p = tmp_path / "r.csv"
+        append_rows(p, [{"a": "007", "b": "1.50"}])
+        append_rows(p, [{"a": "x", "c": 3}])  # forces the header rewrite
+        lines = p.read_text().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "007,1.50,"
+
+    def test_read_header(self, tmp_path):
+        p = tmp_path / "r.csv"
+        assert read_header(p) is None
+        p.write_text("")
+        assert read_header(p) is None
+        append_rows(p, [{"a": 1, "b": 2}])
+        assert read_header(p) == ["a", "b"]
+
+
+class TestCellTyping:
+    def test_ints_floats_strings(self):
+        assert _parse_cell("4") == 4 and isinstance(_parse_cell("4"), int)
+        assert _parse_cell("12.5") == 12.5
+        assert _parse_cell("1e-05") == 1e-05
+        assert _parse_cell("guided") == "guided"
+        assert _parse_cell("") == ""
+
+    @pytest.mark.parametrize(
+        "text", ["nan", "NaN", "+nan", "-nan", "inf", "Inf", "-inf",
+                 "infinity", "-Infinity"]
+    )
+    def test_nonfinite_spellings_stay_strings(self, text):
+        assert _parse_cell(text) == text
+
+    def test_nan_cells_do_not_poison_group_keys(self, tmp_path):
+        """A kernel arg literally spelled "nan" must compare equal to
+        itself (NaN floats never do, splitting easyplot groups)."""
+        p = tmp_path / "r.csv"
+        append_rows(p, [{"arg": "nan", "t": 1}, {"arg": "nan", "t": 2}])
+        rows = read_rows(p)
+        assert unique_values(rows, "arg") == ["nan"]
+
+    def test_value_round_trip_guarantee(self, tmp_path):
+        """read(write(rows)) is the identity on values, and a second
+        write/read cycle is stable (no drift through retyping)."""
+        originals = [{
+            "i": 42, "f": 12.5, "sci": 1e-05, "s": "guided",
+            "nan": "nan", "inf": "-inf", "empty": "", "exp": 100000.0,
+        }]
+        p1 = tmp_path / "a.csv"
+        append_rows(p1, originals)
+        once = read_rows(p1)
+        assert once == originals
+        p2 = tmp_path / "b.csv"
+        append_rows(p2, once)
+        assert read_rows(p2) == once
 
 
 class TestFilter:

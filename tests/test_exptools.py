@@ -34,6 +34,15 @@ class TestSweepConfigs:
         configs = sweep_configs({}, {})
         assert len(configs) == 1
 
+    def test_option_typo_raises_config_error_not_system_exit(self):
+        """argparse must not SystemExit the interpreter mid-sweep."""
+        with pytest.raises(ConfigError, match="--grian"):
+            sweep_configs({}, {"--grian ": [16]})
+
+    def test_bad_value_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            sweep_configs({}, {"--size ": ["not-a-number"]})
+
 
 class TestExecute:
     def _sweep(self, tmp_path, **kw):

@@ -37,7 +37,8 @@ class TestParse:
 
     @pytest.mark.parametrize(
         "spec",
-        ["", "bogus", "dynamic,x", "dynamic,0", "weird:dynamic", "nonmonotonic:static"],
+        ["", "bogus", "dynamic,x", "dynamic,0", "weird:dynamic", "nonmonotonic:static",
+         "nonmonotonic:guided", "nonmonotonic:guided,2"],
     )
     def test_invalid_specs(self, spec):
         with pytest.raises(ScheduleError):
