@@ -118,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative sigma of simulated system noise (0 = deterministic)")
     p.add_argument("--run-index", type=int, default=0,
                    help="repetition number (seeds the noise stream)")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="force the per-tile reference path even in perf mode "
+                   "(the whole-frame fast path is bit-identical; this flag "
+                   "exists for benchmarking and differential testing)")
     p.add_argument("--csv", default=None, metavar="PATH", help="append the perf row to a CSV")
     p.add_argument("--machine", default="virtual", help="machine label for CSV rows")
     p.add_argument("--dump", action="store_true", help="save the final image as PPM")
@@ -180,6 +184,7 @@ def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunCo
         time_scale=args.time_scale,
         jitter=args.jitter,
         run_index=args.run_index,
+        fastpath="off" if getattr(args, "no_fastpath", False) else "auto",
     )
 
 

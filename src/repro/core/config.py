@@ -47,6 +47,7 @@ class RunConfig:
     time_scale: float = 1.0  # cost-model scaling (tests use tiny scales)
     jitter: float = 0.0  # relative sigma of simulated system noise
     run_index: int = 0  # repetition number (seeds the jitter stream)
+    fastpath: str = "auto"  # "auto": whole-frame perf path when possible; "off": reference
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -76,6 +77,10 @@ class RunConfig:
             raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
         if self.run_index < 0:
             raise ConfigError(f"run_index must be >= 0, got {self.run_index}")
+        if self.fastpath not in ("auto", "off"):
+            raise ConfigError(
+                f"fastpath must be 'auto' or 'off', got {self.fastpath!r}"
+            )
         # raises ScheduleError on bad specs:
         self.policy()
 

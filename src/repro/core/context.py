@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence, TYPE_CHECKING
 
+import numpy as np
+
 from repro.core import access
 from repro.core.config import RunConfig
 from repro.core.image import Img2D
@@ -90,6 +92,8 @@ class ExecutionContext:
         self.collect_footprints = config.footprints
         #: monotonically increasing id of the next parallel/sequential region
         self.region_seq = 0
+        #: number of regions the whole-frame fast path executed this run
+        self.fastpath_regions = 0
 
     # -- EASYPAP image macros -------------------------------------------------
     @property
@@ -187,6 +191,37 @@ class ExecutionContext:
         unless ``config.jitter > 0``)."""
         return perturb(costs, self.jitter_rng, self.config.jitter)
 
+    def fastpath_active(self) -> bool:
+        """True when the whole-frame perf-mode fast path may replace the
+        per-tile reference path.
+
+        The fast path is observably identical to the reference (same
+        images, same virtual clock, same region log) *except* that it
+        produces no per-task timeline — so it only engages when nothing
+        consumes timelines: monitoring off, tracing off, footprint
+        collection off, sim backend, and not disabled via
+        ``config.fastpath == "off"``.
+        """
+        return (
+            self.backend == "sim"
+            and self.config.fastpath != "off"
+            and self.monitor is None
+            and self.tracer is None
+            and not self.collect_footprints
+        )
+
+    def frame_costs(self, works: np.ndarray, log_kind: str) -> np.ndarray:
+        """Convert a frame's work vector to per-item costs, feeding the
+        region log exactly as the reference measurement loop would."""
+        if self.region_log is not None:
+            self.region_log.append((log_kind, [float(w) for w in works]))
+        if self.config.jitter > 0:
+            # same list-based path (and RNG draws) as the reference
+            return np.asarray(
+                self.perturb_costs(self.model.times_of(list(works))), dtype=np.float64
+            )
+        return works * self.model.seconds_per_unit
+
     # -- parallel constructs (thin wrappers over repro.omp) -----------------------------
     def parallel_for(
         self,
@@ -195,10 +230,11 @@ class ExecutionContext:
         *,
         schedule: SchedulePolicy | str | None = None,
         kind: str = "tile",
+        frame: Callable | None = None,
     ):
         from repro.omp.parallel import parallel_for
 
-        return parallel_for(self, body, items, schedule=schedule, kind=kind)
+        return parallel_for(self, body, items, schedule=schedule, kind=kind, frame=frame)
 
     def parallel_reduce(
         self,
@@ -209,12 +245,13 @@ class ExecutionContext:
         init,
         schedule: SchedulePolicy | str | None = None,
         kind: str = "tile",
+        frame: Callable | None = None,
     ):
         from repro.omp.parallel import parallel_reduce
 
         return parallel_reduce(
             self, body, items, combine=combine, init=init,
-            schedule=schedule, kind=kind,
+            schedule=schedule, kind=kind, frame=frame,
         )
 
     def task_region(self, *, kind: str = "task"):
@@ -228,14 +265,28 @@ class ExecutionContext:
         items: Iterable[Any] | None = None,
         *,
         kind: str = "tile",
+        frame: Callable | None = None,
     ) -> float:
         """Run ``body`` over items on virtual CPU 0, back-to-back.
 
         This is what ``seq``/``tiled`` (single-thread) variants use; it
         still feeds monitoring and traces, so heat maps work in
-        sequential mode too.
+        sequential mode too.  When a whole-frame ``frame`` callable is
+        given and :meth:`fastpath_active` holds, the per-item bodies are
+        replaced by one batch call (see :mod:`repro.omp.parallel`).
         """
         items = list(self.grid) if items is None else list(items)
+        if frame is not None and self.fastpath_active():
+            works = frame(self, items)
+            if works is not None:
+                costs = self.frame_costs(np.asarray(works, dtype=np.float64), "seq")
+                self.next_region()
+                self.fastpath_regions += 1
+                seg = np.empty(len(costs) + 1)
+                seg[0] = self.vclock
+                seg[1:] = costs
+                self.vclock = float(np.add.accumulate(seg)[-1])
+                return self.vclock
         footprints = None
         if self.collect_footprints:
             footprints = []

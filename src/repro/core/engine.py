@@ -38,6 +38,7 @@ class RunResult:
     early_stop: int = 0  # iteration at which the kernel stabilized (0 = never)
     context: ExecutionContext | None = None
     rank_results: list["RunResult"] = field(default_factory=list)  # MPI runs
+    fastpath_regions: int = 0  # regions executed by the whole-frame fast path
 
     @property
     def elapsed(self) -> float:
@@ -101,4 +102,5 @@ def run(
         trace=ctx.tracer.to_trace() if ctx.tracer else None,
         early_stop=early,
         context=ctx,
+        fastpath_regions=ctx.fastpath_regions,
     )

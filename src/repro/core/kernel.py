@@ -54,6 +54,25 @@ class Kernel:
         <variant>(ctx, nb_iter)
         refresh_img(ctx) -- sync the image from internal data structures
         finalize(ctx)
+
+    Whole-frame fast path (``compute_frame``)
+    -----------------------------------------
+    A kernel may additionally register whole-frame batch implementations
+    by passing ``frame=self.compute_frame`` (any method name works; the
+    built-in kernels use ``compute_frame*``) to ``ctx.parallel_for`` /
+    ``ctx.parallel_reduce`` / ``ctx.sequential_for``.  The contract:
+
+    * ``frame(ctx, items) -> works`` performs **all** side effects the
+      per-item bodies would (image/data writes, change flags) in one
+      vectorized call and returns the per-item work vector, aligned
+      with ``items`` and bit-identical to the per-item returns.  For
+      ``parallel_reduce`` it returns ``(works, value)`` where ``value``
+      is the reduction over all items.
+    * Returning ``None`` declines the batch (e.g. an item subset the
+      frame cannot prove equivalent) and falls back to per-item bodies.
+    * The engine only calls the frame when monitoring, tracing and
+      footprint collection are all off (``ctx.fastpath_active()``), so
+      per-task instrumentation never silently disappears.
     """
 
     #: registry name; subclasses must set it

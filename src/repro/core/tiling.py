@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 __all__ = ["Tile", "TileGrid"]
@@ -140,6 +142,28 @@ class TileGrid:
             if 0 <= r < self.rows and 0 <= c < self.cols:
                 out.append(self.at(r, c))
         return out
+
+    def tile_reduce(self, array: np.ndarray, op: np.ufunc = np.add) -> np.ndarray:
+        """Per-tile reduction of a ``(dim, dim)`` array → ``(rows, cols)``.
+
+        The workhorse of the whole-frame fast path: per-tile work and
+        change profiles are recovered from a full-frame array with two
+        ``reduceat`` passes instead of one NumPy call per tile.  Integer
+        and boolean reductions are exact, so the recovered values equal
+        the per-tile computations bit for bit.
+        """
+        if array.shape[:2] != (self.dim, self.dim):
+            raise ConfigError(
+                f"tile_reduce expects a ({self.dim}, {self.dim}) array, "
+                f"got {array.shape}"
+            )
+        row_starts = np.arange(self.rows) * self.tile_h
+        col_starts = np.arange(self.cols) * self.tile_w
+        return op.reduceat(op.reduceat(array, row_starts, axis=0), col_starts, axis=1)
+
+    def tile_index_array(self, tiles) -> np.ndarray:
+        """Collapse(2) indices of ``tiles`` as an array (fast-path gather)."""
+        return np.fromiter((t.index for t in tiles), dtype=np.intp, count=len(tiles))
 
     def coverage_ok(self) -> bool:
         """True iff tiles exactly partition the image (used as an invariant)."""

@@ -36,6 +36,7 @@ from repro.kernels.api import (
     merge_channels,
     split_channels,
     synthetic_picture,
+    tile_works,
 )
 
 __all__ = ["BlurKernel", "blur_rect_vectorized", "blur_rect_scalar"]
@@ -147,6 +148,40 @@ class BlurKernel(Kernel):
         blur_rect_scalar(ctx.img.cur, ctx.img.nxt, x, y, w, h)
         return tile.area * SCALAR_PIXEL_WORK
 
+    # -- whole-frame fast path (perf mode) ----------------------------------
+    def _frame_blur(self, ctx, tiles) -> bool:
+        """One whole-frame blur; True if it covered the request.
+
+        Neighbourhood clipping in :func:`blur_rect_vectorized` is to the
+        *image* borders (never to tile borders) and accumulation runs in
+        a fixed (dy, dx) order, so the full-frame call writes exactly
+        the bytes the per-tile calls would.
+        """
+        if len(tiles) != len(ctx.grid):
+            return False
+        blur_rect_vectorized(ctx.img.cur, ctx.img.nxt, 0, 0, ctx.dim, ctx.dim)
+        return True
+
+    def compute_frame_basic(self, ctx, tiles) -> np.ndarray | None:
+        if not self._frame_blur(ctx, tiles):
+            return None
+        return tile_works(tiles, SCALAR_PIXEL_WORK)
+
+    def compute_frame_opt(self, ctx, tiles) -> np.ndarray | None:
+        if not self._frame_blur(ctx, tiles):
+            return None
+        last_r, last_c = ctx.grid.rows - 1, ctx.grid.cols - 1
+        border = np.fromiter(
+            (
+                t.row == 0 or t.col == 0 or t.row == last_r or t.col == last_c
+                for t in tiles
+            ),
+            dtype=bool,
+            count=len(tiles),
+        )
+        areas = np.fromiter((t.area for t in tiles), dtype=np.float64, count=len(tiles))
+        return areas * np.where(border, SCALAR_PIXEL_WORK, VECTOR_PIXEL_WORK)
+
     # -- variants -------------------------------------------------------------------
     @variant("seq")
     def compute_seq(self, ctx, nb_iter: int) -> int:
@@ -159,7 +194,9 @@ class BlurKernel(Kernel):
     @variant("tiled")
     def compute_tiled(self, ctx, nb_iter: int) -> int:
         for _ in ctx.iterations(nb_iter):
-            ctx.sequential_for(lambda t: self.do_tile_basic(ctx, t))
+            ctx.sequential_for(
+                lambda t: self.do_tile_basic(ctx, t), frame=self.compute_frame_basic
+            )
             ctx.swap_images()
         return 0
 
@@ -167,7 +204,9 @@ class BlurKernel(Kernel):
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         """Basic parallel tiled version (bottom trace of Fig. 10)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile_basic(ctx, t))
+            ctx.parallel_for(
+                lambda t: self.do_tile_basic(ctx, t), frame=self.compute_frame_basic
+            )
             ctx.run_on_master(ctx.swap_images)
         return 0
 
@@ -175,7 +214,9 @@ class BlurKernel(Kernel):
     def compute_omp_tiled_opt(self, ctx, nb_iter: int) -> int:
         """Optimized version: no conditionals in inner tiles (top trace)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile_opt(ctx, t))
+            ctx.parallel_for(
+                lambda t: self.do_tile_opt(ctx, t), frame=self.compute_frame_opt
+            )
             ctx.run_on_master(ctx.swap_images)
         return 0
 

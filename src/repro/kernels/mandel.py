@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.kernel import Kernel, register_kernel, variant
 from repro.core.tiling import Tile
 
-__all__ = ["MandelKernel", "mandel_counts", "DEFAULT_MAX_ITER"]
+__all__ = ["MandelKernel", "mandel_counts", "mandel_counts_frame", "DEFAULT_MAX_ITER"]
 
 DEFAULT_MAX_ITER = 256
 
@@ -79,6 +79,172 @@ def mandel_counts(
             zi = 2.0 * zr * zi + ci
             zr = zr2 - zi2 + cr
     return counts, work
+
+
+def _interior_mask(cr: np.ndarray, ci: np.ndarray) -> np.ndarray:
+    """Exact membership test for the main cardioid and the period-2 bulb.
+
+    Points inside either region are mathematically guaranteed never to
+    escape: the orbit converges to an attracting fixed point (resp.
+    2-cycle) whose basin contains the orbit, and the contraction damps
+    float64 rounding noise, so the iterated loop would also run all
+    ``max_iter`` iterations and leave ``counts`` at ``max_iter``.  Both
+    inequalities are strict, so boundary pixels (neutral dynamics) fall
+    through to the honest iteration.
+    """
+    x = cr - 0.25
+    y2 = ci * ci
+    q = x * x + y2
+    cardioid = q * (q + x) < 0.25 * y2
+    bulb = (cr + 1.0) * (cr + 1.0) + y2 < 0.0625
+    return cardioid | bulb
+
+
+def mandel_counts_frame(
+    cr: np.ndarray,
+    ci: np.ndarray,
+    max_iter: int,
+    *,
+    julia_c: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Escape counts for a whole frame, optimized for perf mode.
+
+    Bit-identical to :func:`mandel_counts` (the differential suite and
+    ``tests/test_fastpath_diff.py`` enforce this), but structured for
+    throughput on large grids:
+
+    * interior pixels (main cardioid / period-2 bulb) are settled to
+      ``max_iter`` without iterating — see :func:`_interior_mask`;
+    * lanes whose float64 state exactly repeats an earlier state (Brent
+      cycle detection) are deterministically periodic, hence can never
+      escape — they are settled to ``max_iter`` without running out the
+      clock;
+    * escaped lanes are physically compacted away, so the loop only
+      touches live pixels (the reference loop masks but still updates
+      every lane);
+    * elementwise steps reuse preallocated buffers (``out=``), in an
+      order that reproduces the reference arithmetic bit for bit
+      (``2.0 * zr`` is an exact power-of-two scaling).
+
+    Returns ``counts`` only; per-pixel work is ``counts + (counts <
+    max_iter)`` — escape at iteration ``c`` means ``c + 1`` loop trips.
+    """
+    shape = np.broadcast_shapes(cr.shape, ci.shape)
+    n = int(np.prod(shape))
+    counts = np.full(n, max_iter, dtype=np.int32)
+    if julia_c is not None:
+        zr = np.broadcast_to(cr, shape).astype(np.float64).reshape(-1).copy()
+        zi = np.broadcast_to(ci, shape).astype(np.float64).reshape(-1).copy()
+        crv: np.ndarray | np.float64 = np.float64(julia_c[0])
+        civ: np.ndarray | np.float64 = np.float64(julia_c[1])
+        idx = np.arange(n, dtype=np.intp)
+    else:
+        # _interior_mask broadcasts the (1, w) row against the (h, 1)
+        # column directly; exterior lane coordinates are then gathered
+        # from the 1-D axes without materializing the full grids
+        idx = np.nonzero(~_interior_mask(cr, ci).reshape(-1))[0]
+        crf = np.asarray(cr, dtype=np.float64).reshape(-1)
+        cif = np.asarray(ci, dtype=np.float64).reshape(-1)
+        w = shape[1] if len(shape) == 2 else 1
+        if len(shape) == 2 and cr.shape == (1, w) and ci.shape == (shape[0], 1):
+            crv = crf[idx % w]
+            civ = cif[idx // w]
+        else:
+            crv = np.ascontiguousarray(
+                np.broadcast_to(cr, shape), dtype=np.float64
+            ).reshape(-1)[idx]
+            civ = np.ascontiguousarray(
+                np.broadcast_to(ci, shape), dtype=np.float64
+            ).reshape(-1)[idx]
+        zr = np.zeros(idx.size)
+        zi = np.zeros(idx.size)
+    # Cache blocking: iterating a block of lanes to completion keeps its
+    # whole working set (~75 bytes/lane across state + scratch arrays)
+    # L2-resident across all max_iter passes, instead of streaming
+    # multi-megabyte arrays through DRAM once per elementwise op.  Lanes
+    # are independent, so the split cannot change any count; blocks over
+    # quick-escape regions also retire after a handful of iterations.
+    for start in range(0, idx.size, _FRAME_BLOCK):
+        sl = slice(start, start + _FRAME_BLOCK)
+        _iterate_lanes(
+            zr[sl], zi[sl],
+            crv if np.isscalar(crv) or crv.ndim == 0 else crv[sl],
+            civ if np.isscalar(civ) or civ.ndim == 0 else civ[sl],
+            idx[sl], counts, max_iter,
+        )
+    return counts.reshape(shape)
+
+
+#: lanes per block — large enough that numpy per-call overhead is
+#: negligible, small enough that quick-escape regions retire early
+#: (measured optimum on 512^2 frames; the exact value is not critical)
+_FRAME_BLOCK = 1 << 16
+
+
+def _iterate_lanes(zr, zi, crv, civ, idx, counts, max_iter):
+    """Run the escape loop for one block of lanes, writing ``counts[idx]``.
+
+    ``crv``/``civ`` may be scalars (julia mode) or per-lane arrays.
+
+    Retired lanes are *NaN-poisoned* instead of masked: writing NaN into
+    ``zr2`` makes the next update drive ``zr`` (and every later ``zr2``,
+    ``|z|^2`` and Brent comparison) to NaN, and NaN compares False, so
+    a retired lane can never re-trigger the escape or cycle tests.  That
+    removes the per-iteration ``active``-mask traffic entirely; live
+    lanes are recovered exactly at compaction time via ``isnan`` (live
+    orbits are bounded by the escape test, hence always finite).
+    """
+    m = idx.size
+    zr2, zi2, tmp = np.empty(m), np.empty(m), np.empty(m)
+    esc, cyc = np.empty(m, dtype=bool), np.empty(m, dtype=bool)
+    # Brent: checkpoint orbit state at powers of two; an exact (zr, zi)
+    # match against the checkpoint proves the float orbit is periodic
+    sr, si = zr.copy(), zi.copy()
+    next_ckpt = 1
+    nactive = m
+    per_lane_c = not (np.isscalar(crv) or crv.ndim == 0)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for it in range(max_iter):
+            if nactive == 0:
+                break
+            if nactive * 2 < idx.size:
+                live = ~np.isnan(zr)
+                zr, zi, sr, si, idx = zr[live], zi[live], sr[live], si[live], idx[live]
+                if per_lane_c:
+                    crv, civ = crv[live], civ[live]
+                m = nactive
+                zr2, zi2, tmp = np.empty(m), np.empty(m), np.empty(m)
+                esc, cyc = np.empty(m, dtype=bool), np.empty(m, dtype=bool)
+            np.multiply(zr, zr, out=zr2)
+            np.multiply(zi, zi, out=zi2)
+            np.add(zr2, zi2, out=tmp)
+            np.greater(tmp, 4.0, out=esc)  # NaN > 4.0 is False: dead stay dead
+            nesc = int(np.count_nonzero(esc))
+            if nesc:
+                counts[idx[esc]] = it
+                zr2[esc] = np.nan  # poison: the update below spreads it to zr
+                nactive -= nesc
+            np.multiply(zr, 2.0, out=tmp)
+            np.multiply(tmp, zi, out=zi)
+            np.add(zi, civ, out=zi)
+            np.subtract(zr2, zi2, out=zr)
+            np.add(zr, crv, out=zr)
+            if it >= 16 and (it & 3) == 0:
+                # orbits need a few iterations to settle onto their
+                # attracting cycle, and a *delayed* detection is free of
+                # consequence (the lane just iterates longer toward the
+                # same max_iter count) — so test every 4th iteration only
+                np.equal(zr, sr, out=cyc)
+                np.equal(zi, si, out=esc)
+                cyc &= esc
+                ncyc = int(np.count_nonzero(cyc))
+                if ncyc:  # periodic lanes keep counts == max_iter
+                    zr[cyc] = np.nan
+                    nactive -= ncyc
+            if it + 1 == next_ckpt:
+                np.copyto(sr, zr)
+                np.copyto(si, zi)
+                next_ckpt *= 2
 
 
 def _ramp(counts: np.ndarray, max_iter: int) -> np.ndarray:
@@ -151,6 +317,45 @@ class MandelKernel(Kernel):
         ctx.img.cur_view(y, x, h, w, mode="w")[:] = _ramp(counts, ctx.data["max_iter"])
         return work
 
+    # -- whole-frame fast path (perf mode) -----------------------------------
+    def _frame_contrib(self, ctx) -> np.ndarray:
+        """Compute the full frame in one batch; return each pixel's
+        escape-loop iteration count (its contribution to *work*).
+
+        Pixel coordinates are ``left + j * xstep`` whether computed per
+        tile or whole-frame (the integer offset addition is exact), and
+        every escape-loop operation is elementwise — so counts, image
+        and per-pixel work are bit-identical to the tiled path.
+        A pixel that escapes at iteration ``c`` was active for ``c + 1``
+        loop iterations; a pixel that never escapes for ``max_iter``.
+        """
+        max_iter = ctx.data["max_iter"]
+        cr, ci = self._coords(ctx, 0, 0, ctx.dim, ctx.dim)
+        counts = mandel_counts_frame(cr, ci, max_iter, julia_c=ctx.data.get("julia_c"))
+        if max_iter <= 1 << 16:
+            # counts take at most max_iter + 1 distinct values: render the
+            # color ramp once per value and gather — _ramp itself builds
+            # the table, so every pixel gets the exact per-tile color
+            ramp = _ramp(np.arange(max_iter + 1), max_iter)[counts]
+        else:
+            ramp = _ramp(counts, max_iter)
+        ctx.img.cur_view(0, 0, ctx.dim, ctx.dim, mode="w")[:] = ramp
+        return counts.astype(np.int64) + (counts < max_iter)
+
+    def compute_frame(self, ctx, tiles) -> np.ndarray | None:
+        """Whole-frame batch execution over tiles (perf-mode fast path)."""
+        if len(tiles) != len(ctx.grid):
+            return None
+        per_tile = ctx.grid.tile_reduce(self._frame_contrib(ctx))
+        return per_tile.ravel()[ctx.grid.tile_index_array(tiles)].astype(np.float64)
+
+    def compute_frame_rows(self, ctx, rows) -> np.ndarray | None:
+        """Whole-frame batch execution over pixel rows (seq/omp variants)."""
+        if len(rows) != ctx.dim:
+            return None
+        per_row = self._frame_contrib(ctx).sum(axis=1)
+        return per_row[np.asarray(rows, dtype=np.intp)].astype(np.float64)
+
     def zoom(self, ctx) -> None:
         """Shrink the viewport around the zoom point (one animation step)."""
         left, right, top, bottom = ctx.data["view"]
@@ -170,7 +375,8 @@ class MandelKernel(Kernel):
         rows = list(range(ctx.dim))
         for _ in ctx.iterations(nb_iter):
             ctx.sequential_for(
-                lambda row: self._do_row(ctx, row), rows, kind="row"
+                lambda row: self._do_row(ctx, row), rows, kind="row",
+                frame=self.compute_frame_rows,
             )
             self.zoom(ctx)
         return 0
@@ -189,7 +395,7 @@ class MandelKernel(Kernel):
     def compute_tiled(self, ctx, nb_iter: int) -> int:
         """Sequential, tile by tile (the instrumented single-thread code)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            ctx.sequential_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
             self.zoom(ctx)
         return 0
 
@@ -198,7 +404,10 @@ class MandelKernel(Kernel):
         """``#pragma omp parallel for`` over image lines (§II-A)."""
         rows = list(range(ctx.dim))
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda row: self._do_row(ctx, row), rows, kind="row")
+            ctx.parallel_for(
+                lambda row: self._do_row(ctx, row), rows, kind="row",
+                frame=self.compute_frame_rows,
+            )
             self.zoom(ctx)
         return 0
 
@@ -206,7 +415,7 @@ class MandelKernel(Kernel):
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         """``collapse(2)`` tile loop under the configured schedule (Fig. 2)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.parallel_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
             ctx.run_on_master(lambda: self.zoom(ctx))
         return 0
 

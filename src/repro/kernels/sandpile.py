@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.kernel import Kernel, register_kernel, variant
 from repro.core.tiling import Tile
-from repro.kernels.api import halo_region
+from repro.kernels.api import halo_region, tile_works
 
 __all__ = ["SandpileKernel", "sandpile_step_rect"]
 
@@ -89,6 +89,18 @@ class SandpileKernel(Kernel):
             ctx.data["changed"] = True
         return tile.area * GRAIN_WORK
 
+    # -- whole-frame fast path (perf mode) ----------------------------------
+    def compute_frame(self, ctx, tiles) -> np.ndarray | None:
+        """Whole-frame toppling step (integer ops — trivially exact)."""
+        if len(tiles) != len(ctx.grid):
+            return None
+        changed = sandpile_step_rect(
+            ctx.data["grains"], ctx.data["next"], 0, 0, ctx.dim, ctx.dim
+        )
+        if changed:
+            ctx.data["changed"] = True
+        return tile_works(tiles, GRAIN_WORK)
+
     def _end_iter(self, ctx) -> bool:
         ctx.data["grains"], ctx.data["next"] = ctx.data["next"], ctx.data["grains"]
         return bool(ctx.data["changed"])
@@ -97,7 +109,7 @@ class SandpileKernel(Kernel):
     def compute_seq(self, ctx, nb_iter: int) -> int:
         for it in ctx.iterations(nb_iter):
             ctx.data["changed"] = False
-            ctx.sequential_for(lambda t: self.do_tile(ctx, t))
+            ctx.sequential_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
             if not self._end_iter(ctx):
                 return it
         return 0
@@ -106,7 +118,7 @@ class SandpileKernel(Kernel):
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         for it in ctx.iterations(nb_iter):
             ctx.data["changed"] = False
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.parallel_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
             stable = not ctx.run_on_master(lambda: self._end_iter(ctx))
             if stable:
                 return it

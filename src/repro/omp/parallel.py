@@ -7,6 +7,21 @@ produce under the requested ``schedule(...)`` clause.  The ``threads``
 backend runs a real ``ThreadPoolExecutor`` team and records wall-clock
 times (useful to sanity-check shapes against genuine parallelism; NumPy
 tile bodies release the GIL in their inner loops).
+
+Perf-mode fast path
+-------------------
+A kernel may pass ``frame=`` — a whole-frame batch implementation with
+signature ``frame(ctx, items) -> works`` (``parallel_reduce``:
+``frame(ctx, items) -> (works, value)``).  The frame performs every
+side effect the per-item bodies would (image/data writes, change
+flags) in one vectorized shot and returns the per-item work vector;
+``None`` declines (e.g. an item subset the frame cannot prove safe),
+falling back to the reference path.  The fast path engages only when
+:meth:`ExecutionContext.fastpath_active` holds — no monitoring, no
+tracing, no footprints — and is bit-identical to the reference in every
+remaining observable: final images, kernel state, the virtual clock
+(closed-form makespans match the event loop exactly), the region log,
+and the jitter RNG stream.
 """
 
 from __future__ import annotations
@@ -14,6 +29,8 @@ from __future__ import annotations
 import threading
 import time
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.core import access
 from repro.errors import ScheduleError
@@ -25,7 +42,7 @@ from repro.sched.policies import (
     StaticSchedule,
     parse_schedule,
 )
-from repro.sched.simulator import SimResult, simulate
+from repro.sched.simulator import SimResult, simulate, simulate_makespan
 from repro.sched.timeline import TaskExec, Timeline
 
 __all__ = ["parallel_for", "parallel_reduce"]
@@ -46,12 +63,16 @@ def parallel_for(
     *,
     schedule: SchedulePolicy | str | None = None,
     kind: str = "tile",
+    frame: Callable | None = None,
 ) -> SimResult:
     """Distribute ``items`` over the virtual team.
 
     ``body(item)`` performs the computation and returns its cost in
     *work units* (deterministic, e.g. loop iterations executed); items
-    default to the tile grid in collapse(2) order.
+    default to the tile grid in collapse(2) order.  ``frame`` is the
+    optional whole-frame batch implementation (see the module
+    docstring); it replaces the per-item bodies when the perf-mode fast
+    path is active.
 
     Returns the :class:`SimResult` for the region; the context's clock
     advances past the simulated makespan + fork/join overhead.
@@ -61,6 +82,11 @@ def parallel_for(
     meta = {"iteration": ctx.iteration, "kind": kind}
     if ctx.backend == "threads":
         return _threads_parallel_for(ctx, body, items, policy, meta)
+
+    if frame is not None and ctx.fastpath_active():
+        works = frame(ctx, items)
+        if works is not None:
+            return _fast_region(ctx, np.asarray(works, dtype=np.float64), policy)
 
     works, footprints = _measure(ctx, body, items)
     if ctx.region_log is not None:
@@ -80,6 +106,19 @@ def parallel_for(
     ctx.vclock = end + ctx.model.fork_join_overhead
     ctx.record_timeline(result.timeline, footprints=footprints)
     return result
+
+
+def _fast_region(ctx, works: np.ndarray, policy: SchedulePolicy) -> SimResult:
+    """Advance the clock past one worksharing region without building a
+    timeline: closed-form makespan over the frame's work vector."""
+    costs = ctx.frame_costs(works, "par")
+    makespan = simulate_makespan(
+        costs, policy, ctx.nthreads, model=ctx.model, start_time=ctx.vclock
+    )
+    ctx.next_region()
+    ctx.fastpath_regions += 1
+    ctx.vclock = max(makespan, ctx.vclock) + ctx.model.fork_join_overhead
+    return SimResult(Timeline(ncpus=ctx.nthreads), fast_makespan=makespan)
 
 
 def _measure(ctx, body, items):
@@ -104,6 +143,7 @@ def parallel_reduce(
     init: Any,
     schedule: SchedulePolicy | str | None = None,
     kind: str = "tile",
+    frame: Callable | None = None,
 ):
     """``parallel for reduction(op: acc)``: the race-free way to fold a
     value across a worksharing loop.
@@ -113,12 +153,25 @@ def parallel_reduce(
     are unordered — our determinism is strictly stronger, which tests
     rely on).  Returns ``(sim_result, accumulated)``.
 
+    ``frame(ctx, items)`` may return ``(works, value)`` where ``value``
+    is the reduction of all items' values (associativity is already a
+    requirement of the construct); the fast path then returns
+    ``combine(init, value)``.
+
     This is the construct kernels should use instead of mutating shared
     state from tile bodies (the "changed" flags of Life/heat) — in real
     OpenMP that mutation needs ``atomic``/``critical``; here the
     reduction expresses the intent.
     """
     items = list(ctx.grid) if items is None else list(items)
+    if frame is not None and ctx.fastpath_active():
+        out = frame(ctx, items)
+        if out is not None:
+            works, value = out
+            res = _fast_region(
+                ctx, np.asarray(works, dtype=np.float64), _resolve_policy(ctx, schedule)
+            )
+            return res, combine(init, value)
     acc = init
     works: list[float] = []
     footprints: list | None = [] if ctx.collect_footprints else None

@@ -8,6 +8,17 @@ the same event loop, so timelines are directly comparable.
 The simulation is fully deterministic: ties between CPUs becoming free
 at the same instant are broken by CPU index, mirroring the determinism
 of a barrier-released thread team grabbing chunks in rank order.
+
+:func:`simulate_makespan` is the perf-mode companion: when nothing
+consumes per-task timelines (no monitoring, no tracing), the static and
+dynamic-family policies admit a closed form — per-CPU sequences of
+``[start, dispatch, cost, cost, ...]`` folded with ``np.add.accumulate``
+— that yields the **bit-identical** makespan of the event loop without
+allocating a single :class:`TaskExec`.  ``np.add.accumulate`` sums
+strictly left-to-right, so the floating-point association matches the
+reference loop exactly; this invariant is enforced by a Hypothesis
+property in ``tests/test_simulator.py``.  Work stealing keeps the event
+loop (its front/back block consumption has no closed form).
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Any, Sequence
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sched.costmodel import CostModel, DEFAULT_COST_MODEL
@@ -29,7 +42,7 @@ from repro.sched.policies import (
 from repro.sched.timeline import TaskExec, Timeline
 from repro.sched.workstealing import simulate_stealing
 
-__all__ = ["simulate", "SimResult", "ChunkGrab"]
+__all__ = ["simulate", "simulate_makespan", "SimResult", "ChunkGrab"]
 
 
 @dataclass(frozen=True)
@@ -48,14 +61,22 @@ class ChunkGrab:
 
 @dataclass
 class SimResult:
-    """Timeline plus scheduler-level bookkeeping."""
+    """Timeline plus scheduler-level bookkeeping.
+
+    ``fast_makespan`` is set (and the timeline left empty) when the
+    result comes from the closed-form fast path, which computes the
+    makespan without materializing per-task executions.
+    """
 
     timeline: Timeline
     grabs: list[ChunkGrab] = field(default_factory=list)
     steals: int = 0
+    fast_makespan: float | None = None
 
     @property
     def makespan(self) -> float:
+        if self.fast_makespan is not None:
+            return self.fast_makespan
         return self.timeline.makespan
 
     def chunk_sizes(self) -> list[int]:
@@ -187,3 +208,102 @@ def _simulate_queue(
         t = _run_chunk(timeline, chunk, cpu, t, costs, items, base_meta)
         heapq.heappush(heap, (t, cpu))
     return SimResult(timeline, grabs)
+
+
+# --------------------------------------------------------------------------
+# Closed-form makespans (the perf-mode fast path)
+# --------------------------------------------------------------------------
+
+#: below this chunk size a plain Python loop beats building a NumPy array;
+#: both produce bit-identical sums, so the cutoff is purely a speed knob
+_ACCUMULATE_CUTOFF = 32
+
+
+def simulate_makespan(
+    costs: Sequence[float],
+    policy: SchedulePolicy,
+    ncpus: int,
+    *,
+    model: CostModel = DEFAULT_COST_MODEL,
+    start_time: float = 0.0,
+) -> float:
+    """Makespan of :func:`simulate`, bit-identical, without the timeline.
+
+    Static policies reduce to one ``np.add.accumulate`` per CPU over the
+    concatenation ``[start, dispatch, chunk costs..., dispatch, ...]``;
+    dynamic/guided keep the tiny chunk-grab heap (plain floats, same tie
+    breaking) but fold each chunk's costs the same closed-form way.
+    ``nonmonotonic:dynamic`` falls back to the work-stealing event loop,
+    skipping only the per-task records.
+    """
+    n = len(costs)
+    if ncpus < 1:
+        raise SimulationError(f"need at least one cpu, got {ncpus}")
+    if n == 0:
+        return 0.0
+    if isinstance(policy, NonMonotonicDynamic):
+        res = simulate_stealing(
+            costs, policy, ncpus, list(range(n)), model, start_time, {},
+            ChunkGrab, SimResult, record_tasks=False,
+        )
+        return res.makespan
+    c = np.ascontiguousarray(costs, dtype=np.float64)
+    if isinstance(policy, StaticSchedule):
+        return _static_makespan(c, policy, ncpus, model, start_time)
+    if isinstance(policy, GuidedSchedule):
+        return _queue_makespan(c, policy.chunk_queue(n, ncpus), ncpus, model, start_time)
+    if isinstance(policy, DynamicSchedule):
+        return _queue_makespan(c, policy.chunk_queue(n), ncpus, model, start_time)
+    raise SimulationError(f"unsupported policy {policy!r}")
+
+
+def _static_makespan(
+    c: np.ndarray,
+    policy: StaticSchedule,
+    ncpus: int,
+    model: CostModel,
+    start_time: float,
+) -> float:
+    dispatch = np.array([model.dispatch_overhead])
+    start = np.array([start_time])
+    makespan = 0.0
+    for chunks in policy.assignment(len(c), ncpus):
+        if not chunks:
+            continue
+        parts = [start]
+        for ch in chunks:
+            parts.append(dispatch)
+            parts.append(c[ch.lo : ch.hi])
+        end = float(np.add.accumulate(np.concatenate(parts))[-1])
+        if end > makespan:
+            makespan = end
+    return makespan
+
+
+def _queue_makespan(
+    c: np.ndarray,
+    queue: Sequence[Chunk],
+    ncpus: int,
+    model: CostModel,
+    start_time: float,
+) -> float:
+    d = model.dispatch_overhead
+    heap: list[tuple[float, int]] = [(start_time, cpu) for cpu in range(ncpus)]
+    heapq.heapify(heap)
+    makespan = 0.0
+    for chunk in queue:
+        t, cpu = heapq.heappop(heap)
+        t += d
+        lo, hi = chunk.lo, chunk.hi
+        if hi - lo >= _ACCUMULATE_CUTOFF:
+            seg = np.empty(hi - lo + 1)
+            seg[0] = t
+            seg[1:] = c[lo:hi]
+            t = float(np.add.accumulate(seg)[-1])
+        else:
+            for cost in c[lo:hi].tolist():
+                t += cost
+        if t > makespan:
+            makespan = t
+        heapq.heappush(heap, (t, cpu))
+    return makespan

@@ -58,22 +58,34 @@ def simulate_stealing(
     base_meta: dict,
     grab_cls,
     result_cls,
+    record_tasks: bool = True,
 ):
     """Event-driven simulation; returns a ``SimResult``.
 
     Deterministic: ties in free time break by CPU index, victim choice
     is the largest remaining block (ties by lowest CPU index).
+
+    With ``record_tasks=False`` (the perf-mode fast path: stealing has
+    no closed form, but nobody reads the timeline) the per-task records
+    and their meta dicts are skipped; the result carries the makespan in
+    ``fast_makespan`` and an empty timeline.  The event loop itself is
+    identical either way, so the makespan is bit-for-bit the same.
     """
     n = len(costs)
     timeline = Timeline(ncpus=ncpus)
     grabs = []
     steals = 0
+    makespan = 0.0
     blocks = [_Block(c.lo, c.hi) for c in policy.initial_blocks(n, ncpus)]
     k = policy.chunk
 
     # Inline chunk execution (kept local to avoid an import cycle with
     # simulator.py, which imports this module).
     def run_chunk(chunk: Chunk, cpu: int, t: float, stolen: bool) -> float:
+        if not record_tasks:
+            for idx in chunk.indices():
+                t = t + costs[idx]
+            return t
         for idx in chunk.indices():
             end = t + costs[idx]
             m = dict(base_meta)
@@ -99,6 +111,8 @@ def simulate_stealing(
             grabs.append(grab_cls(cpu, t, chunk, stolen=False))
             t = run_chunk(chunk, cpu, t, stolen=False)
             done += len(chunk)
+            if t > makespan:
+                makespan = t
             heapq.heappush(heap, (t, cpu))
             continue
         # Steal: pick the victim with the most remaining work.
@@ -116,5 +130,7 @@ def simulate_stealing(
         grabs.append(grab_cls(cpu, t, chunk, stolen=True))
         t = run_chunk(chunk, cpu, t, stolen=True)
         done += len(chunk)
+        if t > makespan:
+            makespan = t
         heapq.heappush(heap, (t, cpu))
-    return result_cls(timeline, grabs, steals)
+    return result_cls(timeline, grabs, steals, None if record_tasks else makespan)

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.core.config import RunConfig
 from repro.sched.costmodel import CostModel
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_rng():
+    """Pin the global RNGs before every test.
+
+    Engine code only uses explicitly-seeded generators, but real-thread
+    tests and hypothesis shrinking must not be perturbed by whatever
+    global-RNG state a previously-run test left behind.
+    """
+    random.seed(0xEA57)
+    np.random.seed(0xEA57)
 
 
 def make_config(**kwargs) -> RunConfig:

@@ -92,6 +92,7 @@ class TestResult:
         r = run(make_config(kernel="none", variant="seq"))
         assert r.elapsed == r.virtual_time
 
+    @pytest.mark.slow
     def test_elapsed_uses_wall_for_threads(self):
         r = run(make_config(kernel="none", variant="omp_tiled", backend="threads"))
         assert r.elapsed == r.wall_time

@@ -1,0 +1,79 @@
+"""Golden-trace regression tests.
+
+The ``.evt`` fixtures under ``tests/fixtures/`` are byte-exact
+recordings of deterministic runs (see ``tools/make_golden_traces.py``).
+Two independent properties are pinned:
+
+1. **Engine determinism** — re-running the pinned configuration today
+   must reproduce the committed file byte for byte.  This catches any
+   change to the simulator's event ordering, tie-breaking, float
+   arithmetic or the trace writer itself.
+2. **Format round-trip** — decoding a fixture and re-encoding it must
+   also be byte-identical, so the ``.evt`` reader/writer pair is
+   lossless and stable.
+
+If a change intentionally alters scheduling or the format, regenerate
+with ``PYTHONPATH=src python tools/make_golden_traces.py`` and commit
+the diff — the point is that such changes are visible in review.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.trace.format import load_trace, save_trace
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+
+sys.path.insert(0, str(TOOLS_DIR))
+from make_golden_traces import GOLDEN_CONFIGS, golden_trace  # noqa: E402
+
+NAMES = sorted(GOLDEN_CONFIGS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_exists(name):
+    assert (FIXTURE_DIR / f"{name}.evt").is_file(), (
+        f"missing golden fixture {name}.evt — run tools/make_golden_traces.py"
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_regenerated_trace_is_byte_identical(name, tmp_path):
+    """Running the pinned config must reproduce the fixture exactly."""
+    fresh = tmp_path / f"{name}.evt"
+    save_trace(golden_trace(name), fresh)
+    expected = (FIXTURE_DIR / f"{name}.evt").read_bytes()
+    assert fresh.read_bytes() == expected, (
+        f"golden trace {name} drifted — if the scheduling change is "
+        "intentional, regenerate fixtures with tools/make_golden_traces.py"
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_decode_encode_round_trip(name, tmp_path):
+    """load -> save must be lossless down to the last byte."""
+    src = FIXTURE_DIR / f"{name}.evt"
+    trace = load_trace(src)
+    out = tmp_path / "roundtrip.evt"
+    save_trace(trace, out)
+    assert out.read_bytes() == src.read_bytes()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_fixture_content_sanity(name):
+    """Fixtures describe real schedules: validated, non-empty, in-bounds."""
+    trace = load_trace(FIXTURE_DIR / f"{name}.evt")
+    cfg = GOLDEN_CONFIGS[name]
+    assert len(trace.events) > 0
+    assert trace.meta.kernel == cfg["kernel"]
+    assert trace.meta.variant == cfg["variant"]
+    cpus = {e.cpu for e in trace.events}
+    assert cpus <= set(range(cfg["nthreads"]))
+    for e in trace.events:
+        assert e.start <= e.end
+        assert 1 <= e.iteration <= cfg["iterations"]  # iterations are 1-based

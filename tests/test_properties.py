@@ -145,3 +145,67 @@ def test_jittered_replay_identity(sigma, run_index, nthreads):
                       jitter=sigma, run_index=run_index, nthreads=nthreads)
     cache = WorkProfileCache()
     assert cache.simulate(cfg) == pytest.approx(run(cfg).virtual_time)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    costs=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=50),
+    ncpus=st.integers(1, 8),
+    schedule=st.sampled_from(SCHEDULES),
+)
+def test_work_conservation_and_non_overlap(costs, ncpus, schedule):
+    """Property: (1) total busy time across CPUs equals the sum of task
+    costs (no work lost or duplicated); (2) tasks on the same CPU never
+    overlap — each CPU is a serial resource."""
+    res = simulate(costs, parse_schedule(schedule), ncpus, model=ZERO)
+    busy = sum(e.end - e.start for e in res.timeline)
+    assert busy == pytest.approx(sum(costs))
+    by_cpu: dict[int, list] = {}
+    for e in res.timeline:
+        by_cpu.setdefault(e.cpu, []).append(e)
+    for evs in by_cpu.values():
+        evs.sort(key=lambda e: e.start)
+        for a, b in zip(evs, evs[1:]):
+            assert a.end <= b.start + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    costs=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=50),
+    ncpus=st.integers(1, 8),
+    schedule=st.sampled_from(SCHEDULES),
+)
+def test_makespan_bracketed_by_work_bounds(costs, ncpus, schedule):
+    """Property: total/ncpus <= makespan <= total (zero overheads) — and
+    the closed-form fast path sits inside the same bracket."""
+    from repro.sched.simulator import simulate_makespan
+
+    policy = parse_schedule(schedule)
+    total = sum(costs)
+    fast = simulate_makespan(costs, policy, ncpus, model=ZERO)
+    full = simulate(costs, policy, ncpus, model=ZERO).makespan
+    for makespan in (fast, full):
+        assert total / ncpus - 1e-9 <= makespan <= total + 1e-9
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kernel_variant=st.sampled_from([
+        ("mandel", "omp_tiled"), ("heat", "omp_tiled"), ("sandpile", "omp_tiled"),
+    ]),
+    nthreads=st.integers(1, 6),
+    schedule=st.sampled_from(SCHEDULES),
+)
+def test_fastpath_is_invisible(kernel_variant, nthreads, schedule):
+    """Property: for any (kernel, team, schedule), the perf-mode fast
+    path produces bit-identical images and virtual clocks to the
+    reference per-tile path."""
+    kernel, variant = kernel_variant
+    cfg = dict(kernel=kernel, variant=variant, nthreads=nthreads,
+               schedule=schedule, iterations=2)
+    fast = run(make_config(**cfg))
+    ref = run(make_config(fastpath="off", **cfg))
+    assert fast.fastpath_regions > 0
+    assert ref.fastpath_regions == 0
+    assert fast.virtual_time == ref.virtual_time  # exact
+    assert np.array_equal(fast.image, ref.image)

@@ -66,6 +66,7 @@ class TestParallelReduce:
                             combine=operator.add, init=0)
         assert ctx.region_log == [("par", [1.0, 2.0])]
 
+    @pytest.mark.slow
     def test_threads_backend(self):
         ctx = ctx_with(backend="threads", nthreads=4)
         _, total = ctx.parallel_reduce(

@@ -12,7 +12,7 @@ from repro.sched.policies import (
     NonMonotonicDynamic,
     StaticSchedule,
 )
-from repro.sched.simulator import simulate
+from repro.sched.simulator import simulate, simulate_makespan
 
 ZERO = CostModel(seconds_per_unit=1.0, dispatch_overhead=0.0,
                  steal_overhead=0.0, fork_join_overhead=0.0)
@@ -180,3 +180,68 @@ def test_dynamic_is_greedy(costs, ncpus):
     res = simulate(costs, DynamicSchedule(1), ncpus, model=ZERO)
     opt_lb = max(sum(costs) / ncpus, max(costs))
     assert res.makespan <= 2.0 * opt_lb + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Closed-form fast path (simulate_makespan) vs the event loop
+# ---------------------------------------------------------------------------
+
+OVERHEAD_MODELS = [
+    ZERO,
+    CostModel(seconds_per_unit=1.0, dispatch_overhead=0.25,
+              steal_overhead=0.5, fork_join_overhead=0.0),
+    CostModel(seconds_per_unit=5e-9, dispatch_overhead=2.5e-7,
+              steal_overhead=1.5e-6, fork_join_overhead=5e-6),  # default scale
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=60
+    ),
+    ncpus=st.integers(min_value=1, max_value=8),
+    policy_i=st.integers(min_value=0, max_value=len(ALL_POLICIES) - 1),
+    model_i=st.integers(min_value=0, max_value=len(OVERHEAD_MODELS) - 1),
+    start_time=st.sampled_from([0.0, 1.5, 123.456, 7e3]),
+)
+def test_closed_form_equals_event_loop_exactly(costs, ncpus, policy_i, model_i,
+                                               start_time):
+    """Property: the closed-form/queue-replay makespan is EXACTLY equal
+    (``==``, not approx) to the event-driven simulation — the perf-mode
+    fast path must not drift by a single ulp, or bit-identical virtual
+    clocks across the two engine paths become impossible."""
+    policy = ALL_POLICIES[policy_i]
+    model = OVERHEAD_MODELS[model_i]
+    full = simulate(costs, policy, ncpus, model=model, start_time=start_time)
+    fast = simulate_makespan(costs, policy, ncpus, model=model,
+                             start_time=start_time)
+    expect = full.timeline.makespan if len(costs) else 0.0
+    assert fast == expect
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=80,
+    ),
+    ncpus=st.integers(min_value=1, max_value=8),
+    policy_i=st.integers(min_value=0, max_value=len(ALL_POLICIES) - 1),
+)
+def test_closed_form_exact_across_magnitudes(costs, ncpus, policy_i):
+    """Property: exactness survives mixed cost magnitudes (catastrophic
+    ranges for naive summation reorderings)."""
+    policy = ALL_POLICIES[policy_i]
+    full = simulate(costs, policy, ncpus, model=ZERO)
+    assert simulate_makespan(costs, policy, ncpus, model=ZERO) == \
+        full.timeline.makespan
+
+
+def test_closed_form_empty_costs():
+    assert simulate_makespan([], StaticSchedule(), 4, model=ZERO) == 0.0
+
+
+def test_closed_form_rejects_zero_cpus():
+    with pytest.raises(SimulationError):
+        simulate_makespan([1.0], StaticSchedule(), 0, model=ZERO)

@@ -1,0 +1,70 @@
+"""Regenerate the golden ``.evt`` fixtures under ``tests/fixtures/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/make_golden_traces.py
+
+The fixtures pin the byte-exact trace output of fully deterministic
+runs: scheduler event times come from the event-loop simulator over
+integer-valued work units, so the files must be identical on every
+machine and Python version.  ``tests/test_golden_traces.py`` regenerates
+each trace in-process and byte-compares it against the committed file —
+any engine change that moves an event, reorders ties or perturbs a
+float shows up as a fixture diff that has to be reviewed (and, when
+intended, re-committed by re-running this script).
+
+Kernels are chosen so work values avoid libm entirely (escape-loop
+counts, area constants): bit-reproducibility then rests only on IEEE
+float arithmetic and CPython's shortest-roundtrip float repr.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.config import RunConfig
+from repro.core.engine import run
+from repro.trace.format import save_trace
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "tests" / "fixtures"
+
+#: name -> fully pinned configuration (every field that affects the trace)
+GOLDEN_CONFIGS: dict[str, dict] = {
+    "mandel_dynamic": dict(
+        kernel="mandel", variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
+        iterations=2, nthreads=3, schedule="dynamic,2", trace=True,
+    ),
+    "mandel_static": dict(
+        kernel="mandel", variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
+        iterations=2, nthreads=4, schedule="static", trace=True,
+    ),
+    "life_guided": dict(
+        kernel="life", variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
+        iterations=3, nthreads=4, schedule="guided", arg="diag", trace=True,
+    ),
+    "blur_stealing": dict(
+        kernel="blur", variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
+        iterations=2, nthreads=3, schedule="nonmonotonic:dynamic", trace=True,
+    ),
+}
+
+
+def golden_trace(name: str):
+    """Produce the Trace object for one golden configuration."""
+    return run(RunConfig(**GOLDEN_CONFIGS[name])).trace
+
+
+def write_all(directory: Path = FIXTURE_DIR) -> list[Path]:
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in GOLDEN_CONFIGS:
+        path = directory / f"{name}.evt"
+        save_trace(golden_trace(name), path)
+        written.append(path)
+        print(f"wrote {path}")
+    return written
+
+
+if __name__ == "__main__":
+    sys.exit(0 if write_all() else 1)
