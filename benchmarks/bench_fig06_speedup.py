@@ -13,6 +13,11 @@ Shape claims reproduced:
 Scaled to dim 512 / max_iter 128 / 5 iterations; the sweep itself runs
 through the expTools + easyplot pipeline (work-profile replay) exactly
 as a student would drive it.
+
+``pytest benchmarks/bench_fig06_speedup.py --backend procs`` reruns the
+same sweep on a real backend (wall-clock times, no work-profile reuse);
+the shape assertions then need actual cores to hold, so that mode is
+for hardware runs, not CI.
 """
 
 from _common import report, OUT_DIR
@@ -27,28 +32,33 @@ SCHEDULES = ["static", "guided", "dynamic,2", "nonmonotonic:dynamic"]
 THREADS = list(range(2, 13, 2))
 
 
-def run_sweep(csv_path):
+def run_sweep(csv_path, backend="sim"):
     # sequential reference (refTime in the paper's figure header)
     seq_cfg = config_from_args(parse_args(
         ["--kernel", "mandel", "--variant", "seq", "--size", "512",
-         "--iterations", "5", "--arg", "128", "--nb-threads", "1"]), env={})
+         "--iterations", "5", "--arg", "128", "--nb-threads", "1",
+         "--backend", backend]), env={})
     ref = run(seq_cfg)
     execute(
         "easypap",
         {"OMP_NUM_THREADS=": THREADS, "OMP_SCHEDULE=": SCHEDULES},
         {"--kernel ": ["mandel"], "--variant ": ["omp_tiled"],
          "--size ": [512], "--grain ": [16, 32], "--iterations ": [5],
-         "--arg ": [128]},
+         "--arg ": [128], "--backend ": [backend]},
         runs=1,
         csv_path=csv_path,
-        reuse_work=True,
+        # work-profile replay only makes sense on the virtual clock;
+        # real backends must execute every point for the times to mean
+        # anything
+        reuse_work=(backend == "sim"),
     )
     return ref.elapsed * 1e6
 
 
-def test_fig06_speedup(benchmark, tmp_path):
+def test_fig06_speedup(benchmark, tmp_path, bench_backend):
     csv = tmp_path / "perf_data.csv"
-    ref_us = benchmark.pedantic(run_sweep, args=(csv,), rounds=1, iterations=1)
+    ref_us = benchmark.pedantic(
+        run_sweep, args=(csv, bench_backend), rounds=1, iterations=1)
 
     from repro.expt.csvdb import read_rows
 

@@ -1,0 +1,24 @@
+"""Pytest options shared by the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BACKENDS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        default="sim",
+        choices=list(BACKENDS),
+        help="execution backend for the benchmark sweeps: 'sim' (default) "
+        "replays work profiles on the virtual clock, so the figures are "
+        "machine-independent; 'threads' and 'procs' measure wall-clock "
+        "and need real cores for the paper's shape claims to hold",
+    )
+
+
+@pytest.fixture
+def bench_backend(request) -> str:
+    return request.config.getoption("--backend")

@@ -1,0 +1,50 @@
+"""A deliberately GIL-bound kernel (``--load``-style extension file).
+
+``pymandel`` computes the Mandelbrot escape loop pixel by pixel in pure
+Python — no NumPy vectorization, so the interpreter holds the GIL for
+the whole tile.  This is the workload where ``backend="threads"``
+cannot speed anything up and ``backend="procs"`` shows its reason to
+exist; the procs benchmark (and its CI gate) is built on it.
+
+Loaded via :func:`repro.core.kernel.load_kernel_module`, which also
+makes pool workers replay this file so they can resolve the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+
+MAX_ITER = 32
+
+
+@register_kernel
+class PyMandelKernel(Kernel):
+    """Kernel ``pymandel``: scalar-Python Mandelbrot, one pixel at a time."""
+
+    name = "pymandel"
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        x, y, w, h = tile.as_rect()
+        dim = ctx.dim
+        view = ctx.img.cur_view(y, x, h, w, mode="w")
+        for j in range(h):
+            ci = -1.25 + 2.5 * (y + j) / dim
+            for i in range(w):
+                cr = -2.0 + 2.5 * (x + i) / dim
+                zr = zi = 0.0
+                it = 0
+                while it < MAX_ITER and zr * zr + zi * zi < 4.0:
+                    zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
+                    it += 1
+                shade = (255 * it) // MAX_ITER
+                view[j, i] = np.uint32((shade << 24) | (shade << 16) | (shade << 8) | 0xFF)
+        return float(tile.area * MAX_ITER)
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(ctx.body(self.do_tile))
+        return 0

@@ -26,7 +26,7 @@ import sys
 from contextlib import redirect_stderr, redirect_stdout
 from pathlib import Path
 
-from repro.core.config import RunConfig
+from repro.core.config import BACKENDS, RunConfig
 from repro.core.engine import run
 from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
 from repro.errors import ConfigError, EasypapError
@@ -112,7 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-d", "--debug", default="", help="debug flag letters (M: monitor all ranks)")
     p.add_argument("--nb-threads", type=int, default=None, help="overrides OMP_NUM_THREADS")
     p.add_argument("--schedule", default=None, help="overrides OMP_SCHEDULE")
-    p.add_argument("--backend", choices=("sim", "threads"), default="sim")
+    p.add_argument("--backend", choices=BACKENDS, default="sim",
+                   help="sim: virtual time; threads: real threads (wall clock); "
+                   "procs: shared-memory process pool (wall clock, true "
+                   "parallelism for pure-Python tile bodies)")
     p.add_argument("--time-scale", type=float, default=1.0, help="cost-model scaling factor")
     p.add_argument("--jitter", type=float, default=0.0,
                    help="relative sigma of simulated system noise (0 = deterministic)")
@@ -237,7 +240,11 @@ def main(argv: list[str] | None = None) -> int:
         debug = config.debug
         if config.mpi_np and "M" not in debug:
             debug += "M"
-        config = config.with_(trace=True, footprints=True, debug=debug)
+        try:
+            config = config.with_(trace=True, footprints=True, debug=debug)
+        except EasypapError as exc:
+            print(f"easypap: {exc}", file=sys.stderr)
+            return 2
 
     frame_hook = None
     if config.display:

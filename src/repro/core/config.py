@@ -16,10 +16,18 @@ from repro.errors import ConfigError
 from repro.omp.icv import DEFAULT_NUM_THREADS
 from repro.sched.policies import SchedulePolicy, parse_schedule
 
-__all__ = ["RunConfig", "DEFAULT_DIM", "DEFAULT_TILE"]
+__all__ = ["RunConfig", "BACKENDS", "DEFAULT_DIM", "DEFAULT_TILE"]
 
 DEFAULT_DIM = 256
 DEFAULT_TILE = 32
+
+#: the execution backends, in documentation order: ``sim`` replays the
+#: loop through the virtual-time scheduler, ``threads`` runs a real
+#: thread team (wall clock; parallel only for GIL-releasing bodies),
+#: ``procs`` runs a persistent shared-memory process pool (wall clock,
+#: true parallelism for pure-Python tile bodies).  This single tuple
+#: drives both validation and the ``--backend`` CLI choices.
+BACKENDS = ("sim", "threads", "procs")
 
 
 @dataclass
@@ -34,7 +42,7 @@ class RunConfig:
     iterations: int = 1
     nthreads: int = DEFAULT_NUM_THREADS
     schedule: str = "dynamic"
-    backend: str = "sim"  # "sim" (virtual time) or "threads" (wall clock)
+    backend: str = "sim"  # one of BACKENDS: sim / threads / procs
     monitoring: bool = False
     trace: bool = False
     trace_label: str = "cur"
@@ -69,10 +77,22 @@ class RunConfig:
             raise ConfigError(f"--iterations must be >= 1, got {self.iterations}")
         if self.nthreads < 1:
             raise ConfigError(f"thread count must be >= 1, got {self.nthreads}")
-        if self.backend not in ("sim", "threads"):
-            raise ConfigError(f"unknown backend {self.backend!r}")
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r} (valid: {', '.join(BACKENDS)})"
+            )
         if self.mpi_np < 0:
             raise ConfigError(f"-np must be >= 0, got {self.mpi_np}")
+        if self.backend == "procs" and self.mpi_np:
+            raise ConfigError("backend 'procs' cannot be combined with --mpirun")
+        if self.backend == "procs" and self.footprints:
+            # tile bodies run in pool workers, whose declare_access calls
+            # never reach the master's analyzer — accepting the flag would
+            # produce a vacuous "no races" verdict
+            raise ConfigError(
+                "backend 'procs' cannot record access footprints; run "
+                "--check-races on the sim or threads backend"
+            )
         if self.jitter < 0:
             raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
         if self.run_index < 0:

@@ -44,7 +44,21 @@ class ExecutionContext:
     def __init__(self, config: RunConfig, *, model: CostModel | None = None):
         self.config = config
         self.dim = config.dim
-        self.img = Img2D(config.dim)
+        #: shared-memory state of the ``procs`` backend (None elsewhere)
+        self.arena = None
+        self.img_blocks: tuple[str, str] | None = None
+        self.procs_session = 0
+        if config.backend == "procs":
+            from repro.omp import procs as _procs
+
+            self.arena = _procs.SharedArena()
+            name_cur, cur = self.arena.alloc((config.dim, config.dim), np.uint32)
+            name_nxt, nxt = self.arena.alloc((config.dim, config.dim), np.uint32)
+            self.img = Img2D.from_buffers(cur, nxt)
+            self.img_blocks = (name_cur, name_nxt)
+            self.procs_session = _procs.new_session_id()
+        else:
+            self.img = Img2D(config.dim)
         self.grid = TileGrid(config.dim, config.tile_w, config.tile_h)
         self.nthreads = config.nthreads
         self.policy: SchedulePolicy = config.policy()
@@ -58,8 +72,15 @@ class ExecutionContext:
         self.rng = make_rng(config.seed)
         self.jitter_rng = make_jitter_rng(config.seed, config.run_index)
         self.arg = config.arg
-        #: free-form kernel state (life grids, mandel viewport, ...)
-        self.data: dict[str, Any] = {}
+        #: free-form kernel state (life grids, mandel viewport, ...);
+        #: under ``procs`` every NumPy array is mirrored into shared
+        #: memory so pool workers see the same bytes
+        if self.arena is not None:
+            from repro.omp.procs import SharedData
+
+            self.data: dict[str, Any] = SharedData(self.arena)
+        else:
+            self.data = {}
         self.vclock = 0.0
         self.iteration = 0
         self.completed_iterations = 0
@@ -81,6 +102,11 @@ class ExecutionContext:
                     label=config.trace_label,
                 )
             )
+            if config.backend != "sim":
+                # real backends record measured times; flag it in the
+                # trace so EASYVIEW labels the x-axis honestly (sim
+                # traces stay byte-identical to the golden fixtures)
+                self.tracer.annotate(clock="wall", backend=config.backend)
         #: set by the MPI launcher when running under ``--mpirun``
         self.mpi: "MpiProcessContext | None" = None
         #: per-iteration hook used by display mode / tests
@@ -152,6 +178,34 @@ class ExecutionContext:
             self.monitor.end_iteration(self.iteration, self.vclock)
         if self.frame_hook is not None:
             self.frame_hook(self, self.iteration)
+
+    # -- resource lifecycle -----------------------------------------------------
+    def body(self, method: Callable) -> Callable:
+        """Wrap a bound kernel tile method as a backend-portable body.
+
+        ``ctx.parallel_for(ctx.body(self.do_tile))`` behaves exactly like
+        ``lambda t: self.do_tile(ctx, t)`` on the sim/threads backends,
+        but — unlike a closure — it can also cross the process boundary
+        of ``backend="procs"`` (workers re-resolve the kernel method by
+        name).  Kernels should prefer it for every tile body.
+        """
+        from repro.omp.procs import TileBody
+
+        return TileBody(self, method)
+
+    def close(self) -> None:
+        """Release backend resources (the shared-memory blocks of
+        ``procs``).  Idempotent; NumPy views already handed out
+        (``RunResult.image``, kernel state) stay readable after the
+        blocks are unlinked, only the ``/dev/shm`` names disappear."""
+        if self.arena is not None:
+            self.arena.release()
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- clock and recording ----------------------------------------------------------
     def advance_clock(self, dt: float) -> None:

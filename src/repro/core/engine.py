@@ -43,7 +43,7 @@ class RunResult:
     @property
     def elapsed(self) -> float:
         """The time performance mode reports: virtual for the simulator
-        backend, wall-clock for the real-threads backend."""
+        backend, wall-clock for the real backends (threads, procs)."""
         return self.virtual_time if self.config.backend == "sim" else self.wall_time
 
     def summary(self) -> str:
@@ -79,19 +79,25 @@ def run(
     kernel = kernel if kernel is not None else get_kernel(config.kernel)
     compute = kernel.compute_fn(config.variant)
     ctx = ExecutionContext(config, model=model)
-    ctx.frame_hook = frame_hook
-    kernel.init(ctx)
-    kernel.draw(ctx)
-    if config.display:
+    try:
+        ctx.frame_hook = frame_hook
+        kernel.init(ctx)
+        kernel.draw(ctx)
+        if config.display:
+            kernel.refresh_img(ctx)
+
+        sw = Stopwatch().start()
+        v0 = ctx.vclock
+        early = int(compute(ctx, config.iterations) or 0)
+        wall = sw.stop()
+
         kernel.refresh_img(ctx)
-
-    sw = Stopwatch().start()
-    v0 = ctx.vclock
-    early = int(compute(ctx, config.iterations) or 0)
-    wall = sw.stop()
-
-    kernel.refresh_img(ctx)
-    kernel.finalize(ctx)
+        kernel.finalize(ctx)
+    finally:
+        # unlink any shared-memory blocks (procs backend) even when the
+        # kernel raises or the run is interrupted; already-handed-out
+        # views (ctx.img, ctx.data arrays) stay readable
+        ctx.close()
     return RunResult(
         config=config,
         completed_iterations=ctx.completed_iterations,

@@ -65,6 +65,26 @@ class Img2D:
         self.nxt = np.full((dim, dim), fill, dtype=np.uint32)
         self.swaps = 0
 
+    @classmethod
+    def from_buffers(cls, cur: np.ndarray, nxt: np.ndarray) -> "Img2D":
+        """Wrap caller-owned buffers (e.g. shared-memory blocks of the
+        ``procs`` backend) instead of allocating — same API, so kernels
+        and the engine never see the difference.  Both buffers must be
+        square ``uint32`` arrays of the same shape."""
+        if cur.shape != nxt.shape or cur.ndim != 2 or cur.shape[0] != cur.shape[1]:
+            raise ConfigError(
+                f"image buffers must be square and congruent, got "
+                f"{cur.shape} / {nxt.shape}"
+            )
+        if cur.dtype != np.uint32 or nxt.dtype != np.uint32:
+            raise ConfigError("image buffers must be uint32")
+        img = cls.__new__(cls)
+        img.dim = int(cur.shape[0])
+        img.cur = cur
+        img.nxt = nxt
+        img.swaps = 0
+        return img
+
     # -- scalar accessors (the cur_img()/next_img() macros) ---------------
     def cur_img(self, y: int, x: int) -> int:
         """Read one pixel of the current image (EASYPAP ``cur_img(i, j)``)."""

@@ -29,9 +29,15 @@ __all__ = [
     "get_kernel",
     "list_kernels",
     "load_kernel_module",
+    "loaded_kernel_files",
 ]
 
 _KERNELS: dict[str, Type["Kernel"]] = {}
+
+#: absolute paths given to ``load_kernel_module``, in load order — the
+#: ``procs`` backend replays them in pool workers so ``--load``-ed
+#: kernels resolve across the process boundary
+_LOADED_KERNEL_FILES: list[str] = []
 
 
 def variant(name: str) -> Callable:
@@ -170,6 +176,8 @@ def load_kernel_module(path: str):
         raise KernelError(f"kernel file not found: {path}")
     modname = "easypap_ext_" + re.sub(r"\W", "_", path)
     if modname in sys.modules:
+        if path not in _LOADED_KERNEL_FILES:
+            _LOADED_KERNEL_FILES.append(path)
         return sys.modules[modname]
     spec = importlib.util.spec_from_file_location(modname, path)
     if spec is None or spec.loader is None:
@@ -181,4 +189,10 @@ def load_kernel_module(path: str):
     except Exception:
         del sys.modules[modname]
         raise
+    _LOADED_KERNEL_FILES.append(path)
     return mod
+
+
+def loaded_kernel_files() -> list[str]:
+    """The kernel files loaded so far (replayed in procs pool workers)."""
+    return list(_LOADED_KERNEL_FILES)

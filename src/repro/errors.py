@@ -72,6 +72,11 @@ class DeadlockError(MpiError):
         super().__init__(describe() if callable(describe) else str(report))
 
 
+class ExecutionError(EasypapError):
+    """A real-parallel backend failed at runtime (a ``procs`` pool worker
+    died or raised, a tile body could not cross the process boundary...)."""
+
+
 class TraceError(EasypapError):
     """Malformed trace file or recorder misuse."""
 

@@ -37,6 +37,14 @@ Large sweeps are a first-class workload, not a for-loop:
   identical to full runs (work is deterministic).  With ``cache_dir=``
   (or ``$REPRO_WORK_CACHE``) the captured profiles persist on disk and
   are shared across workers *and* across invocations.
+
+The execution backend is sweepable like any other dimension
+(``easypap_options["--backend "] = ["sim", "threads", "procs"]``; the
+CSV records it per row).  A ``procs`` point spawns its persistent
+worker pool once per sweep process and reuses it across every
+subsequent ``procs`` point of matching width, so the pool-spawn cost is
+paid once, not per point — leave ``reuse_work`` off for real backends,
+whose wall-clock times must come from actual execution.
 """
 
 from __future__ import annotations

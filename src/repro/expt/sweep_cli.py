@@ -53,6 +53,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     grid.add_argument("--schedule", action="append", default=None, metavar="SPEC",
                       help="OMP_SCHEDULE value (repeat the flag per spec; specs "
                       "like 'dynamic,2' contain commas)")
+    grid.add_argument("--backend", action="append", default=None,
+                      metavar="NAME[,NAME...]",
+                      help="execution backend(s) to sweep (sim, threads, procs)")
 
     runner = p.add_argument_group("runner")
     runner.add_argument("-r", "--runs", type=int, default=1,
@@ -89,6 +92,7 @@ def _grid(args: argparse.Namespace) -> tuple[dict, dict]:
         "grain": "--grain ",
         "iterations": "--iterations ",
         "arg": "--arg ",
+        "backend": "--backend ",
     }
     for attr, flag in flag_of.items():
         occurrences = getattr(args, attr)

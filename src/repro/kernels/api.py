@@ -3,6 +3,20 @@
 EASYPAP ships with image assets; being self-contained, we synthesize
 deterministic pictures instead (:func:`synthetic_picture`): the blur and
 pixelize assignments only need "a picture with structure".
+
+Backend-portable tile bodies
+----------------------------
+Kernels should pass worksharing bodies as ``ctx.body(self.do_tile)``
+rather than ``lambda t: self.do_tile(ctx, t)``.  Both behave
+identically on the ``sim`` and ``threads`` backends, but only the
+former can cross the process boundary of ``backend="procs"`` (workers
+re-resolve the kernel method by name; closures cannot be pickled).
+Auxiliary NumPy arrays kept in ``ctx.data`` are automatically mirrored
+into shared memory under ``procs`` — plain in-place writes from tile
+bodies (``ctx.data["changes"][row, col] = True``) are visible to the
+master; *scalar* assignments made inside tile bodies are merged back
+after the region and must therefore be idempotent (convergence flags),
+or better, expressed as a ``ctx.parallel_reduce``.
 """
 
 from __future__ import annotations

@@ -204,9 +204,7 @@ class BlurKernel(Kernel):
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         """Basic parallel tiled version (bottom trace of Fig. 10)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(
-                lambda t: self.do_tile_basic(ctx, t), frame=self.compute_frame_basic
-            )
+            ctx.parallel_for(ctx.body(self.do_tile_basic), frame=self.compute_frame_basic)
             ctx.run_on_master(ctx.swap_images)
         return 0
 
@@ -214,9 +212,7 @@ class BlurKernel(Kernel):
     def compute_omp_tiled_opt(self, ctx, nb_iter: int) -> int:
         """Optimized version: no conditionals in inner tiles (top trace)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(
-                lambda t: self.do_tile_opt(ctx, t), frame=self.compute_frame_opt
-            )
+            ctx.parallel_for(ctx.body(self.do_tile_opt), frame=self.compute_frame_opt)
             ctx.run_on_master(ctx.swap_images)
         return 0
 
@@ -287,7 +283,7 @@ class BlurKernel(Kernel):
                 ctx.img.cur[y0 + h] = comm.sendrecv(
                     ctx.img.cur[y0 + h - 1].copy(), dest=down, source=down
                 )
-            ctx.parallel_for(lambda t: self.do_tile_opt(ctx, t), tiles)
+            ctx.parallel_for(ctx.body(self.do_tile_opt), tiles)
             ctx.run_on_master(ctx.swap_images)
         # compose the final picture on the master for display/result
         gathered = comm.gather((y0, ctx.img.cur[y0 : y0 + h].copy()), root=0)

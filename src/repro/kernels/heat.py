@@ -170,7 +170,7 @@ class HeatKernel(Kernel):
         than tile bodies mutating shared state."""
         for it in ctx.iterations(nb_iter):
             _, max_delta = ctx.parallel_reduce(
-                lambda t: self.do_tile_delta(ctx, t), combine=max, init=0.0,
+                ctx.body(self.do_tile_delta), combine=max, init=0.0,
                 frame=self.compute_frame_delta,
             )
             ctx.data["max_delta"] = max_delta
@@ -246,7 +246,7 @@ class HeatKernel(Kernel):
                 else:
                     temp[y0 : y0 + h, x0 + w] = ghost
             ctx.data["max_delta"] = 0.0
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t), tiles)
+            ctx.parallel_for(ctx.body(self.do_tile), tiles)
             ctx.data["temp"], ctx.data["next"] = ctx.data["next"], ctx.data["temp"]
             temp = ctx.data["temp"]
             global_delta = comm.allreduce(ctx.data["max_delta"], op=max)

@@ -216,7 +216,7 @@ class LifeKernel(Kernel):
         """Eager parallel version: every tile, every iteration."""
         for it in ctx.iterations(nb_iter):
             self._begin_iter(ctx)
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
+            ctx.parallel_for(ctx.body(self.do_tile), frame=self.compute_frame)
             stable = not ctx.run_on_master(lambda: self._end_iter(ctx))
             if stable:
                 return it
@@ -241,9 +241,7 @@ class LifeKernel(Kernel):
                         t.y : t.y + t.h, t.x : t.x + t.w
                     ]
             if todo:
-                ctx.parallel_for(
-                    lambda t: self.do_tile(ctx, t), todo, frame=self.compute_frame
-                )
+                ctx.parallel_for(ctx.body(self.do_tile), todo, frame=self.compute_frame)
             stable = not ctx.run_on_master(lambda: self._end_iter(ctx))
             if stable:
                 return it
@@ -354,7 +352,7 @@ class LifeKernel(Kernel):
                         ly : ly + t.h, t.x : t.x + t.w
                     ]
             if todo:
-                ctx.parallel_for(lambda t: self._do_tile_mpi(ctx, t), todo)
+                ctx.parallel_for(ctx.body(self._do_tile_mpi), todo)
             ctx.data["prev_changes"] = ctx.data["changes"].copy()
             local_changed = bool(ctx.data["changes"].any())
             ctx.data["cells"], ctx.data["next"] = ctx.data["next"], ctx.data["cells"]

@@ -405,7 +405,7 @@ class MandelKernel(Kernel):
         rows = list(range(ctx.dim))
         for _ in ctx.iterations(nb_iter):
             ctx.parallel_for(
-                lambda row: self._do_row(ctx, row), rows, kind="row",
+                ctx.body(self._do_row), rows, kind="row",
                 frame=self.compute_frame_rows,
             )
             self.zoom(ctx)
@@ -415,7 +415,7 @@ class MandelKernel(Kernel):
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         """``collapse(2)`` tile loop under the configured schedule (Fig. 2)."""
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
+            ctx.parallel_for(ctx.body(self.do_tile), frame=self.compute_frame)
             ctx.run_on_master(lambda: self.zoom(ctx))
         return 0
 

@@ -118,7 +118,7 @@ class SandpileKernel(Kernel):
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         for it in ctx.iterations(nb_iter):
             ctx.data["changed"] = False
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t), frame=self.compute_frame)
+            ctx.parallel_for(ctx.body(self.do_tile), frame=self.compute_frame)
             stable = not ctx.run_on_master(lambda: self._end_iter(ctx))
             if stable:
                 return it

@@ -53,6 +53,6 @@ class ScrollupKernel(Kernel):
     @variant("omp_tiled")
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.parallel_for(ctx.body(self.do_tile))
             ctx.run_on_master(ctx.swap_images)
         return 0

@@ -39,7 +39,7 @@ class _PictureKernel(Kernel):
     @variant("omp_tiled")
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.parallel_for(ctx.body(self.do_tile))
             ctx.run_on_master(lambda: self.end_of_iteration(ctx))
         return 0
 

@@ -61,6 +61,6 @@ class SpinKernel(Kernel):
     @variant("omp_tiled")
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self.do_tile(ctx, t))
+            ctx.parallel_for(ctx.body(self.do_tile))
             ctx.run_on_master(lambda: self._rotate(ctx))
         return 0

@@ -6,7 +6,10 @@ event-driven scheduler to obtain the timeline a real thread team would
 produce under the requested ``schedule(...)`` clause.  The ``threads``
 backend runs a real ``ThreadPoolExecutor`` team and records wall-clock
 times (useful to sanity-check shapes against genuine parallelism; NumPy
-tile bodies release the GIL in their inner loops).
+tile bodies release the GIL in their inner loops).  The ``procs``
+backend (:mod:`repro.omp.procs`) dispatches the same worksharing loops
+onto a persistent shared-memory process pool — wall-clock times with
+true parallelism even for pure-Python tile bodies.
 
 Perf-mode fast path
 -------------------
@@ -82,6 +85,10 @@ def parallel_for(
     meta = {"iteration": ctx.iteration, "kind": kind}
     if ctx.backend == "threads":
         return _threads_parallel_for(ctx, body, items, policy, meta)
+    if ctx.backend == "procs":
+        from repro.omp.procs import procs_parallel_for
+
+        return procs_parallel_for(ctx, body, items, policy, meta)
 
     if frame is not None and ctx.fastpath_active():
         works = frame(ctx, items)
@@ -164,6 +171,14 @@ def parallel_reduce(
     reduction expresses the intent.
     """
     items = list(ctx.grid) if items is None else list(items)
+    if ctx.backend == "procs":
+        from repro.omp.procs import procs_parallel_reduce
+
+        return procs_parallel_reduce(
+            ctx, body, items, _resolve_policy(ctx, schedule),
+            {"iteration": ctx.iteration, "kind": kind},
+            combine=combine, init=init,
+        )
     if frame is not None and ctx.fastpath_active():
         out = frame(ctx, items)
         if out is not None:

@@ -22,6 +22,16 @@ class TraceRecorder:
         self.events: list[TraceEvent] = []
         self.enabled = True
 
+    def annotate(self, **info) -> None:
+        """Attach free-form metadata to the trace (``meta.extra``).
+
+        The real backends tag their traces with ``clock="wall"`` +
+        the backend name so EASYVIEW can distinguish measured Gantt
+        charts from simulated ones; sim runs leave ``extra`` untouched,
+        keeping their ``.evt`` files byte-identical to golden fixtures.
+        """
+        self.meta.extra.update(info)
+
     def record_timeline(
         self, timeline: Timeline, *, kind: str = "tile", footprints=None
     ) -> None:

@@ -1,0 +1,38 @@
+"""A deliberately slow kernel (``--load``-style extension file).
+
+Each tile sleeps for a fixed wall-clock delay, which gives the procs
+backend tests a region long enough to SIGKILL a pool worker *while it is
+computing* and assert that the master surfaces a clean ExecutionError
+within a bounded time instead of hanging on a dead pipe.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.kernel import Kernel, register_kernel, variant
+from repro.core.tiling import Tile
+
+TILE_SLEEP = 0.2  # seconds of pure wall-clock per tile
+
+
+@register_kernel
+class SlowTilesKernel(Kernel):
+    """Kernel ``slowtiles``: increments every pixel, slowly."""
+
+    name = "slowtiles"
+
+    def do_tile(self, ctx, tile: Tile) -> float:
+        time.sleep(TILE_SLEEP)
+        x, y, w, h = tile.as_rect()
+        view = ctx.img.cur_view(y, x, h, w)
+        view += np.uint32(1)
+        return float(tile.area)
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.parallel_for(ctx.body(self.do_tile))
+        return 0
