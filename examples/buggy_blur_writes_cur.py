@@ -36,6 +36,6 @@ class BuggyBlurKernel(BlurKernel):
     @variant("omp_tiled")
     def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
         for _ in ctx.iterations(nb_iter):
-            ctx.parallel_for(lambda t: self._do_tile_writes_cur(ctx, t))
+            ctx.parallel_for(ctx.body(self._do_tile_writes_cur))
             # no swap: the result was (incorrectly) written in place
         return 0

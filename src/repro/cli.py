@@ -32,6 +32,7 @@ from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
 from repro.errors import ConfigError, EasypapError
 from repro.mpi.launcher import parse_mpirun_args
 from repro.omp.icv import resolve_icvs
+from repro.telemetry.ring import RING_CAP_ENV
 
 __all__ = ["build_parser", "parse_args", "parse_args_strict", "config_from_args", "main"]
 
@@ -207,6 +208,13 @@ def _run_analysis(args, config, result) -> int:
             status = 1
     else:
         for r in results:
+            if r.dropped_events:
+                print(
+                    f"easypap: warning: {r.dropped_events} telemetry event(s) "
+                    "dropped by the ring buffer — the race verdict may be "
+                    f"incomplete (raise ${RING_CAP_ENV})",
+                    file=sys.stderr,
+                )
             rr = check_races(r.trace)
             prefix = f"[{r.trace.meta.label}] " if config.mpi_np else ""
             print(prefix + rr.describe())

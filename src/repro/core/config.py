@@ -85,14 +85,6 @@ class RunConfig:
             raise ConfigError(f"-np must be >= 0, got {self.mpi_np}")
         if self.backend == "procs" and self.mpi_np:
             raise ConfigError("backend 'procs' cannot be combined with --mpirun")
-        if self.backend == "procs" and self.footprints:
-            # tile bodies run in pool workers, whose declare_access calls
-            # never reach the master's analyzer — accepting the flag would
-            # produce a vacuous "no races" verdict
-            raise ConfigError(
-                "backend 'procs' cannot record access footprints; run "
-                "--check-races on the sim or threads backend"
-            )
         if self.jitter < 0:
             raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
         if self.run_index < 0:

@@ -2,10 +2,11 @@
 
 A :class:`ExecutionContext` bundles the image, the tile grid, the
 parallel runtime (virtual-CPU team + schedule policy + cost model), the
-monitoring and tracing sinks, and the virtual clock.  Kernels see the
-EASYPAP surface — ``cur_img``/``next_img``, ``swap_images``, ``DIM``,
-``TILE_W``... — plus the parallel constructs (``parallel_for``,
-``task_region``) documented in :mod:`repro.omp`.
+telemetry bus with its consumers (monitor, trace recorder), and the
+virtual clock.  Kernels see the EASYPAP surface — ``cur_img``/
+``next_img``, ``swap_images``, ``DIM``, ``TILE_W``... — plus the
+parallel constructs (``parallel_for``, ``task_region``) documented in
+:mod:`repro.omp`.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.monitor.activity import Monitor
 from repro.sched.costmodel import DEFAULT_COST_MODEL, CostModel, perturb
 from repro.sched.policies import SchedulePolicy
 from repro.sched.timeline import TaskExec, Timeline
+from repro.telemetry.bus import TelemetryBus
 from repro.trace.events import TraceMeta
 from repro.trace.recorder import TraceRecorder
 from repro.util.rng import make_jitter_rng, make_rng
@@ -84,29 +86,13 @@ class ExecutionContext:
         self.vclock = 0.0
         self.iteration = 0
         self.completed_iterations = 0
-        self.monitor: Monitor | None = (
-            Monitor(config.nthreads, self.grid) if config.monitoring else None
-        )
-        self.tracer: TraceRecorder | None = None
-        if config.trace:
-            self.tracer = TraceRecorder(
-                TraceMeta(
-                    kernel=config.kernel,
-                    variant=config.variant,
-                    dim=config.dim,
-                    tile_w=config.tile_w,
-                    tile_h=config.tile_h,
-                    ncpus=config.nthreads,
-                    schedule=config.schedule,
-                    iterations=config.iterations,
-                    label=config.trace_label,
-                )
-            )
-            if config.backend != "sim":
-                # real backends record measured times; flag it in the
-                # trace so EASYVIEW labels the x-axis honestly (sim
-                # traces stay byte-identical to the golden fixtures)
-                self.tracer.annotate(clock="wall", backend=config.backend)
+        #: the telemetry bus: producers publish here, consumers (monitor,
+        #: trace recorder, analyzer feeds) are attached lazily on first
+        #: use — nothing is constructed when instrumentation is off
+        self._bus = TelemetryBus()
+        self._consumers_attached = False
+        self._monitor: Monitor | None = None
+        self._tracer: TraceRecorder | None = None
         #: set by the MPI launcher when running under ``--mpirun``
         self.mpi: "MpiProcessContext | None" = None
         #: per-iteration hook used by display mode / tests
@@ -120,6 +106,72 @@ class ExecutionContext:
         self.region_seq = 0
         #: number of regions the whole-frame fast path executed this run
         self.fastpath_regions = 0
+
+    # -- telemetry ------------------------------------------------------------
+    def _ensure_consumers(self) -> None:
+        """Attach the config-selected telemetry consumers, once.
+
+        Called from every instrumentation touchpoint instead of
+        ``__init__``: contexts whose config disables monitoring and
+        tracing never construct a :class:`Monitor` or
+        :class:`TraceRecorder` at all, which is what keeps the
+        perf-mode fast path honest (see :meth:`fastpath_active`).
+        """
+        if self._consumers_attached:
+            return
+        self._consumers_attached = True
+        config = self.config
+        if config.monitoring:
+            self._monitor = self._bus.attach(Monitor(config.nthreads, self.grid))
+        if config.trace:
+            self._tracer = self._bus.attach(
+                TraceRecorder(
+                    TraceMeta(
+                        kernel=config.kernel,
+                        variant=config.variant,
+                        dim=config.dim,
+                        tile_w=config.tile_w,
+                        tile_h=config.tile_h,
+                        ncpus=config.nthreads,
+                        schedule=config.schedule,
+                        iterations=config.iterations,
+                        label=config.trace_label,
+                    )
+                )
+            )
+            if config.backend != "sim":
+                # real backends record measured times; flag it in the
+                # trace so EASYVIEW labels the x-axis honestly (sim
+                # traces stay byte-identical to the golden fixtures)
+                self._bus.annotate(clock="wall", backend=config.backend)
+
+    @property
+    def bus(self) -> TelemetryBus:
+        self._ensure_consumers()
+        return self._bus
+
+    @property
+    def monitor(self) -> Monitor | None:
+        if self.config.monitoring:
+            self._ensure_consumers()
+        return self._monitor
+
+    @property
+    def tracer(self) -> TraceRecorder | None:
+        if self.config.trace:
+            self._ensure_consumers()
+        return self._tracer
+
+    def instrumented(self) -> bool:
+        """The one place that decides whether per-task timelines must be
+        produced: any config-selected consumer, footprint collection, or
+        an externally attached bus consumer that observes executions."""
+        return (
+            self.config.monitoring
+            or self.config.trace
+            or self.collect_footprints
+            or self._bus.wants_timelines
+        )
 
     # -- EASYPAP image macros -------------------------------------------------
     @property
@@ -174,8 +226,8 @@ class ExecutionContext:
 
     def end_iteration(self) -> None:
         self.completed_iterations += 1
-        if self.monitor is not None:
-            self.monitor.end_iteration(self.iteration, self.vclock)
+        if self.instrumented():
+            self.bus.iteration_mark(self.iteration, self.vclock)
         if self.frame_hook is not None:
             self.frame_hook(self, self.iteration)
 
@@ -214,10 +266,8 @@ class ExecutionContext:
         self.vclock += dt
 
     def record_timeline(self, timeline: Timeline, *, footprints=None) -> None:
-        if self.monitor is not None:
-            self.monitor.record_timeline(timeline)
-        if self.tracer is not None:
-            self.tracer.record_timeline(timeline, footprints=footprints)
+        """Publish one executed region to the telemetry bus."""
+        self.bus.publish_region(timeline, footprints=footprints)
 
     def next_region(self) -> int:
         """Allocate the id of a new parallel/sequential region."""
@@ -252,16 +302,13 @@ class ExecutionContext:
         The fast path is observably identical to the reference (same
         images, same virtual clock, same region log) *except* that it
         produces no per-task timeline — so it only engages when nothing
-        consumes timelines: monitoring off, tracing off, footprint
-        collection off, sim backend, and not disabled via
-        ``config.fastpath == "off"``.
+        consumes timelines (:meth:`instrumented` is False), on the sim
+        backend, and not disabled via ``config.fastpath == "off"``.
         """
         return (
             self.backend == "sim"
             and self.config.fastpath != "off"
-            and self.monitor is None
-            and self.tracer is None
-            and not self.collect_footprints
+            and not self.instrumented()
         )
 
     def frame_costs(self, works: np.ndarray, log_kind: str) -> np.ndarray:

@@ -39,6 +39,11 @@ class RunResult:
     context: ExecutionContext | None = None
     rank_results: list["RunResult"] = field(default_factory=list)  # MPI runs
     fastpath_regions: int = 0  # regions executed by the whole-frame fast path
+    #: aggregated telemetry counters (regions, steals, dropped_events, ...)
+    counters: dict = field(default_factory=dict)
+    #: telemetry events lost to ring-buffer overflow (0 for in-process
+    #: channels; bounded drop-oldest behaviour of the procs ring)
+    dropped_events: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -98,6 +103,12 @@ def run(
         # kernel raises or the run is interrupted; already-handed-out
         # views (ctx.img, ctx.data arrays) stay readable
         ctx.close()
+    dropped = ctx.bus.dropped_events
+    if dropped and ctx.tracer is not None:
+        # make loss visible in the artifact itself, not only RunResult;
+        # in-process channels never drop, so sim traces (and the golden
+        # fixtures) are untouched
+        ctx.bus.annotate(dropped_events=dropped)
     return RunResult(
         config=config,
         completed_iterations=ctx.completed_iterations,
@@ -109,4 +120,6 @@ def run(
         early_stop=early,
         context=ctx,
         fastpath_regions=ctx.fastpath_regions,
+        counters=dict(ctx.bus.counters),
+        dropped_events=dropped,
     )

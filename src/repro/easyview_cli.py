@@ -25,8 +25,18 @@ from repro.trace.stats import duration_stats, iteration_spans, per_cpu_busy
 __all__ = ["main"]
 
 
+def _load(path: str):
+    """Load a trace in either native ``.evt`` or Chrome ``.json`` form,
+    so an exported trace can come back through every easyview view."""
+    if str(path).endswith(".json"):
+        from repro.trace.chrome import load_chrome_trace
+
+        return load_chrome_trace(path)
+    return load_trace(path)
+
+
 def _show_trace(path: str, first_it: int | None, last_it: int | None, width: int) -> None:
-    trace = load_trace(path)
+    trace = _load(path)
     m = trace.meta
     print(f"trace: {path}")
     print(
@@ -85,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if len(args.traces) == 1:
             _show_trace(args.traces[0], first_it, last_it, args.width)
-            trace = load_trace(args.traces[0])
+            trace = _load(args.traces[0])
             if args.coverage is not None:
                 from repro.trace.coverage import coverage_mask
 
@@ -126,8 +136,8 @@ def main(argv: list[str] | None = None) -> int:
                 if not rr.clean:
                     return 1
         elif len(args.traces) == 2:
-            before = load_trace(args.traces[0])
-            after = load_trace(args.traces[1])
+            before = _load(args.traces[0])
+            after = _load(args.traces[1])
             cmp_ = TraceComparison(before, after)
             print(cmp_.report())
             print("\nbefore:")

@@ -249,10 +249,12 @@ def _execute_point(
                 if cache is not None:
                     elapsed = cache.simulate(rep_cfg)
                     completed = rep_cfg.iterations
+                    counters: dict = {}
                 else:
                     result = run(rep_cfg)
                     elapsed = result.elapsed
                     completed = result.completed_iterations
+                    counters = result.counters
         except SweepTimeout as exc:
             last_error = str(exc)
             continue
@@ -261,11 +263,16 @@ def _execute_point(
             continue
         row["time_us"] = round(elapsed * 1e6, 3)
         row["completed"] = completed
+        # telemetry-bus counters: scheduling + channel health per point
+        row["steals"] = int(counters.get("steals", 0))
+        row["dropped_events"] = int(counters.get("dropped_events", 0))
         row["status"] = "ok"
         row["error"] = ""
         return row
     row["time_us"] = ""
     row["completed"] = 0
+    row["steals"] = ""
+    row["dropped_events"] = ""
     row["status"] = "error"
     row["error"] = last_error[:200]
     return row

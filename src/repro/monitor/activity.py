@@ -1,9 +1,9 @@
 """The run-time monitor: accumulates timelines into per-iteration records.
 
 Plays the role of EASYPAP's ``--monitoring`` machinery: while the kernel
-runs, every task execution (from the scheduling simulator or the real
-threads backend) is fed here; at each iteration boundary a snapshot is
-taken for the Activity Monitor and Tiling windows.
+runs, the telemetry bus feeds it every region timeline (whichever
+backend produced it); at each iteration boundary a snapshot is taken
+for the Activity Monitor and Tiling windows.
 """
 
 from __future__ import annotations
@@ -30,6 +30,13 @@ class Monitor:
         self._cumulated_idleness = 0.0
         self._pending: list[TaskExec] = []
         self._iter_start: float = 0.0
+
+    # -- telemetry-bus consumer hooks ----------------------------------------
+    def on_region_end(self, timeline: Timeline) -> None:
+        self.record_timeline(timeline)
+
+    def on_iteration_mark(self, event) -> None:
+        self.end_iteration(event.iteration, event.now)
 
     # -- feeding ------------------------------------------------------------
     def record_timeline(self, timeline: Timeline) -> None:

@@ -84,10 +84,12 @@ def parallel_for(
     policy = _resolve_policy(ctx, schedule)
     meta = {"iteration": ctx.iteration, "kind": kind}
     if ctx.backend == "threads":
+        meta.update(region=ctx.next_region(), rmode="par")
         return _threads_parallel_for(ctx, body, items, policy, meta)
     if ctx.backend == "procs":
         from repro.omp.procs import procs_parallel_for
 
+        meta.update(region=ctx.next_region(), rmode="par")
         return procs_parallel_for(ctx, body, items, policy, meta)
 
     if frame is not None and ctx.fastpath_active():
@@ -111,6 +113,8 @@ def parallel_for(
     )
     end = max(result.timeline.makespan, ctx.vclock)
     ctx.vclock = end + ctx.model.fork_join_overhead
+    if result.steals:
+        ctx.bus.counter("steals", result.steals)
     ctx.record_timeline(result.timeline, footprints=footprints)
     return result
 
@@ -176,7 +180,10 @@ def parallel_reduce(
 
         return procs_parallel_reduce(
             ctx, body, items, _resolve_policy(ctx, schedule),
-            {"iteration": ctx.iteration, "kind": kind},
+            {
+                "iteration": ctx.iteration, "kind": kind,
+                "region": ctx.next_region(), "rmode": "reduce",
+            },
             combine=combine, init=init,
         )
     if frame is not None and ctx.fastpath_active():
@@ -217,7 +224,10 @@ def parallel_reduce(
 
         res = _threads_parallel_for(
             ctx, body_threads, items, _resolve_policy(ctx, schedule),
-            {"iteration": ctx.iteration, "kind": kind},
+            {
+                "iteration": ctx.iteration, "kind": kind,
+                "region": ctx.next_region(), "rmode": "reduce",
+            },
         )
         return res, acc
 
@@ -261,6 +271,19 @@ def _threads_parallel_for(ctx, body, items, policy, meta) -> SimResult:
     n = len(items)
     nthreads = ctx.nthreads
     records: list[list[tuple[int, float, float]]] = [[] for _ in range(nthreads)]
+    # the active footprint collector is thread-local, so each team member
+    # records its own tasks; every idx runs exactly once, so the slot
+    # writes below never contend
+    fps: list | None = [None] * n if ctx.collect_footprints else None
+
+    def run_item(idx: int) -> None:
+        if fps is None:
+            body(items[idx])
+        else:
+            with access.collect() as col:
+                body(items[idx])
+            fps[idx] = col.freeze()
+
     t0 = time.perf_counter()
 
     if isinstance(policy, StaticSchedule):
@@ -271,7 +294,7 @@ def _threads_parallel_for(ctx, body, items, policy, meta) -> SimResult:
             for chunk in assignments[rank]:
                 for idx in chunk.indices():
                     s = time.perf_counter() - t0
-                    body(items[idx])
+                    run_item(idx)
                     e = time.perf_counter() - t0
                     recs.append((idx, s, e))
 
@@ -298,7 +321,7 @@ def _threads_parallel_for(ctx, body, items, policy, meta) -> SimResult:
                     state["next"] = qi + 1
                 for idx in queue[qi].indices():
                     s = time.perf_counter() - t0
-                    body(items[idx])
+                    run_item(idx)
                     e = time.perf_counter() - t0
                     recs.append((idx, s, e))
 
@@ -321,5 +344,5 @@ def _threads_parallel_for(ctx, body, items, policy, meta) -> SimResult:
             m["index"] = idx
             timeline.append(TaskExec(items[idx], rank, ctx.vclock + s, ctx.vclock + e, m))
     ctx.vclock += elapsed
-    ctx.record_timeline(timeline)
+    ctx.record_timeline(timeline, footprints=fps)
     return SimResult(timeline, grabs=[], steals=0)

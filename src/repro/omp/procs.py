@@ -41,9 +41,14 @@ Architecture
     counter — contention is per *chunk*, not per tile); the
     ``nonmonotonic:dynamic`` family uses per-worker chunk deques in the
     same array, stolen from the tail of the most-loaded victim.
-    Workers stream ``(item, start, end)`` wall-clock events into
-    per-worker trace buffers that the master folds into the normal
-    timeline machinery (monitoring, ``--trace``, EASYVIEW).
+    Workers stream telemetry — wall-clock execution records and, when
+    ``--check-races`` is on, read/write footprints — into per-worker
+    shared-memory ring lanes (:mod:`repro.telemetry.ring`); the master
+    drains the lanes between regions and re-publishes everything on the
+    context's telemetry bus (monitoring, ``--trace``, the race
+    analyzer, EASYVIEW).  A full lane drops its oldest records instead
+    of ever blocking a worker; drops surface as the run's
+    ``dropped_events`` counter.
 
 Worker death (e.g. SIGKILL) is detected by liveness polling during
 collection and surfaces as a clean :class:`ExecutionError` after a
@@ -64,6 +69,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core import access
 from repro.errors import ExecutionError, ScheduleError
 from repro.sched.policies import (
     DynamicSchedule,
@@ -74,6 +80,15 @@ from repro.sched.policies import (
 )
 from repro.sched.simulator import SimResult
 from repro.sched.timeline import TaskExec, Timeline
+from repro.telemetry.ring import (
+    KIND_EXEC,
+    KIND_FP_READ,
+    KIND_FP_WRITE,
+    RECORD_WIDTH,
+    RingWriter,
+    drain_lane,
+    ring_capacity,
+)
 
 __all__ = [
     "SharedArena",
@@ -465,9 +480,12 @@ def _worker_region(state: dict, lock, ctrl, rank: int, nworkers: int, r: dict) -
         items = [grid[int(i)] for i in idx]
 
     chunks = _worker_view(state, r["chunk_block"], (r["nchunks"], 2), np.int64)
-    trace = _worker_view(
-        state, r["trace_block"], (nworkers, r["trace_cap"], 3), np.float64
-    )[rank]
+    ring_payload = _worker_view(
+        state, r["ring_block"], (nworkers, r["ring_cap"], RECORD_WIDTH), np.float64
+    )
+    # ring lane write counts live in the tail of the shared ctrl array:
+    # attached once at worker startup, monotonic across regions
+    ring = RingWriter(ctrl[2 + 2 * nworkers :], ring_payload, rank)
 
     mode = r["mode"]
     if mode == "static":
@@ -487,6 +505,11 @@ def _worker_region(state: dict, lock, ctrl, rank: int, nworkers: int, r: dict) -
             return _worker_claim_steal(ctrl, lock, rank, nworkers, r["steal_half"])
 
     reduce_values = [] if r["reduce"] else None
+    collect_fp = r["footprints"]
+    # footprints carry buffer *names*; a numeric ring cannot ship strings,
+    # so each worker interns them and sends the table back with "done"
+    buf_ids: dict[str, int] = {}
+    bufs: list[str] = []
     nev = 0
     perf = time.perf_counter
     while True:
@@ -496,16 +519,32 @@ def _worker_region(state: dict, lock, ctrl, rank: int, nworkers: int, r: dict) -
         lo, hi = int(chunks[cid, 0]), int(chunks[cid, 1])
         for pos in range(lo, hi):
             item = items[pos]
-            s = perf()
-            ret = method(ctx, item)
-            e = perf()
-            trace[nev, 0] = pos
-            trace[nev, 1] = s
-            trace[nev, 2] = e
+            if collect_fp:
+                with access.collect() as col:
+                    s = perf()
+                    ret = method(ctx, item)
+                    e = perf()
+                fp = col.freeze()
+                ring.emit(KIND_EXEC, pos, s, e)
+                for kind, regions in (
+                    (KIND_FP_READ, fp.reads),
+                    (KIND_FP_WRITE, fp.writes),
+                ):
+                    for buf, x, y, w, h in regions:
+                        bid = buf_ids.get(buf)
+                        if bid is None:
+                            bid = buf_ids[buf] = len(bufs)
+                            bufs.append(buf)
+                        ring.emit(kind, pos, bid, x, y, w, h)
+            else:
+                s = perf()
+                ret = method(ctx, item)
+                e = perf()
+                ring.emit(KIND_EXEC, pos, s, e)
             nev += 1
             if reduce_values is not None:
                 reduce_values.append((pos, ret[1]))
-    return {"n": nev, "values": reduce_values, "sets": data.sets}
+    return {"n": nev, "values": reduce_values, "sets": data.sets, "bufs": bufs}
 
 
 def _worker_main(rank: int, conn, lock, ctrl_name: str, nworkers: int) -> None:
@@ -513,7 +552,9 @@ def _worker_main(rank: int, conn, lock, ctrl_name: str, nworkers: int) -> None:
     state: dict[str, Any] = {"shms": {}}
     ctrl_shm = shared_memory.SharedMemory(name=ctrl_name)
     _untrack(ctrl_shm)
-    ctrl = np.ndarray((2 + 2 * nworkers,), dtype=np.int64, buffer=ctrl_shm.buf)
+    # layout: [queue cursor, steal count, per-worker deques (2 each),
+    #          per-worker telemetry-ring write counts (1 each)]
+    ctrl = np.ndarray((2 + 3 * nworkers,), dtype=np.int64, buffer=ctrl_shm.buf)
     try:
         while True:
             try:
@@ -669,12 +710,16 @@ class ProcPool:
         self.prefix = f"ezpap_pool_{os.getpid()}_{os.urandom(3).hex()}_"
         self._mp = _mp_context()
         self.lock = self._mp.Lock()
-        ctrl_shm = _alloc_block(self.prefix + "ctrl_", 0, (2 + 2 * nworkers) * 8)
+        ctrl_shm = _alloc_block(self.prefix + "ctrl_", 0, (2 + 3 * nworkers) * 8)
         self._ctrl_name = ctrl_shm.name
-        self.ctrl = np.ndarray((2 + 2 * nworkers,), dtype=np.int64, buffer=ctrl_shm.buf)
+        self.ctrl = np.ndarray((2 + 3 * nworkers,), dtype=np.int64, buffer=ctrl_shm.buf)
         self._chunks = _GrowBlock(self.prefix, "chunks_", np.int64)
         self._items = _GrowBlock(self.prefix, "items_", np.int64)
-        self._trace = _GrowBlock(self.prefix, "trace_", np.float64)
+        #: telemetry ring payload (lanes of fixed-width records); the
+        #: write counts live in the tail of ``ctrl``, the master-side
+        #: read cursors here
+        self._ring = _GrowBlock(self.prefix, "ring_", np.float64)
+        self._ring_consumed = [0] * nworkers
         self.session: int | None = None
         self.epoch = 0
         self.broken = False
@@ -727,7 +772,7 @@ class ProcPool:
             except OSError:  # pragma: no cover
                 pass
         _unlink_block(self._ctrl_name)
-        for block in (self._chunks, self._items, self._trace):
+        for block in (self._chunks, self._items, self._ring):
             block.release()
 
     def _fail(self, why: str) -> "ExecutionError":
@@ -825,13 +870,18 @@ class ProcPool:
 
         Returns ``(timeline, elapsed_wall_seconds, extras)`` where
         ``extras`` carries reduction values (in item order), merged
-        scalar writebacks and the steal count.
+        scalar writebacks, the steal count, per-task footprints (when
+        the run collects them) and the number of telemetry events the
+        ring dropped.
         """
         self.ensure_session(ctx)
         n = len(items)
         timeline = Timeline(ncpus=self.nworkers)
         if n == 0:
-            return timeline, 0.0, {"values": [], "sets": {}, "steals": 0}
+            return timeline, 0.0, {
+                "values": [], "sets": {}, "steals": 0,
+                "footprints": None, "dropped": 0,
+            }
 
         plan = _chunk_plan(policy, n, self.nworkers)
         table = plan["table"]
@@ -853,7 +903,9 @@ class ProcPool:
         else:
             items_pickled = list(items)
 
-        trace_arr = self._trace.ensure((self.nworkers, n, 3))
+        want_fp = bool(ctx.collect_footprints)
+        ring_cap = ring_capacity(n, want_fp)
+        ring_arr = self._ring.ensure((self.nworkers, ring_cap, RECORD_WIDTH))
 
         # region control words: queue cursor, steal count, per-worker deques
         self.ctrl[0] = 0
@@ -876,8 +928,9 @@ class ProcPool:
             "items_pickled": items_pickled,
             "chunk_block": self._chunks.name,
             "nchunks": len(table),
-            "trace_block": self._trace.name,
-            "trace_cap": n,
+            "ring_block": self._ring.name,
+            "ring_cap": ring_cap,
+            "footprints": want_fp,
             "mode": plan["mode"],
             "static_chunks": plan.get("static_chunks"),
             "steal_half": plan.get("steal_half", False),
@@ -892,32 +945,63 @@ class ProcPool:
 
         total = sum(r["n"] for r in replies)
         if total != n:
+            # lost-work detection rides on the pipe replies, never on the
+            # (droppable) telemetry ring
             raise self._fail(
                 f"procs region executed {total} of {n} items — a worker "
                 "lost its claimed chunk (crash mid-chunk?)"
             )
         values: list = [None] * n if reduce else []
         merged_sets: dict = {}
+        ring_hdr = self.ctrl[2 + 2 * self.nworkers :]
+        dropped = 0
+        fp_reads: dict[int, list] = {}
+        fp_writes: dict[int, list] = {}
         for rank, r in enumerate(replies):
-            rows = trace_arr[rank, : r["n"]]
-            for pos_f, s, e in rows:
-                pos = int(pos_f)
-                m = dict(meta)
-                m["index"] = pos
-                timeline.append(
-                    TaskExec(
-                        items[pos], rank,
-                        ctx.vclock + (s - t0), ctx.vclock + (e - t0), m,
+            records, self._ring_consumed[rank], lost = drain_lane(
+                ring_hdr, ring_arr, rank, self._ring_consumed[rank]
+            )
+            dropped += lost
+            bufs = r.get("bufs") or []
+            for rec in records:
+                kind = int(rec[0])
+                pos = int(rec[2])
+                if kind == KIND_EXEC:
+                    m = dict(meta)
+                    m["index"] = pos
+                    timeline.append(
+                        TaskExec(
+                            items[pos], rank,
+                            ctx.vclock + (rec[3] - t0), ctx.vclock + (rec[4] - t0), m,
+                        )
                     )
-                )
+                elif kind in (KIND_FP_READ, KIND_FP_WRITE):
+                    bid = int(rec[3])
+                    region = (
+                        bufs[bid] if 0 <= bid < len(bufs) else "?",
+                        int(rec[4]), int(rec[5]), int(rec[6]), int(rec[7]),
+                    )
+                    sink = fp_reads if kind == KIND_FP_READ else fp_writes
+                    sink.setdefault(pos, []).append(region)
             if reduce:
                 for pos, value in r["values"]:
                     values[pos] = value
             merged_sets.update(r["sets"])
+        footprints = None
+        if want_fp:
+            footprints = [
+                access.Footprint(
+                    reads=tuple(fp_reads.get(pos, ())),
+                    writes=tuple(fp_writes.get(pos, ())),
+                )
+                for pos in range(n)
+            ]
         return timeline, elapsed, {
             "values": values,
             "sets": merged_sets,
             "steals": int(self.ctrl[1]),
+            "footprints": footprints,
+            "dropped": dropped,
         }
 
 
@@ -952,6 +1036,15 @@ def shutdown_pools() -> None:
 # --------------------------------------------------------------------------
 
 
+def _publish_region(ctx, timeline, extra) -> None:
+    """Re-publish one drained region on the context's telemetry bus."""
+    if extra["dropped"]:
+        ctx.bus.record_dropped(extra["dropped"])
+    if extra["steals"]:
+        ctx.bus.counter("steals", extra["steals"])
+    ctx.record_timeline(timeline, footprints=extra["footprints"])
+
+
 def procs_parallel_for(ctx, body, items, policy, meta) -> SimResult:
     spec = _require_tile_body(body, ctx)
     pool = get_pool(ctx.nthreads)
@@ -959,7 +1052,7 @@ def procs_parallel_for(ctx, body, items, policy, meta) -> SimResult:
     for k, v in extra["sets"].items():
         ctx.data[k] = v
     ctx.vclock += elapsed
-    ctx.record_timeline(timeline)
+    _publish_region(ctx, timeline, extra)
     return SimResult(timeline, grabs=[], steals=extra["steals"])
 
 
@@ -977,5 +1070,5 @@ def procs_parallel_reduce(ctx, body, items, policy, meta, *, combine, init):
     for value in extra["values"]:
         acc = combine(acc, value)
     ctx.vclock += elapsed
-    ctx.record_timeline(timeline)
+    _publish_region(ctx, timeline, extra)
     return SimResult(timeline, grabs=[], steals=extra["steals"]), acc

@@ -1,0 +1,29 @@
+"""Unified telemetry: one backend-agnostic instrumentation pipeline.
+
+See :mod:`repro.telemetry.events` for the event protocol,
+:mod:`repro.telemetry.bus` for the in-process channel and consumer
+API, :mod:`repro.telemetry.ring` for the shared-memory channel procs
+workers write, and ``docs/observability.md`` for the full picture.
+"""
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import (
+    MASTER_PRODUCER,
+    AnnotationEvent,
+    CounterEvent,
+    FootprintEvent,
+    IterationMarkEvent,
+    TelemetryEvent,
+    TileExecEvent,
+)
+
+__all__ = [
+    "TelemetryBus",
+    "MASTER_PRODUCER",
+    "TelemetryEvent",
+    "TileExecEvent",
+    "FootprintEvent",
+    "CounterEvent",
+    "IterationMarkEvent",
+    "AnnotationEvent",
+]

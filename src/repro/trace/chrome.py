@@ -1,4 +1,4 @@
-"""Chrome trace-event export.
+"""Chrome trace-event export and import.
 
 EASYPAP's related-work section situates EASYVIEW among "outstanding
 tools developed to visualize and analyze execution traces" (Aftermath,
@@ -9,7 +9,12 @@ trace-event JSON format, so traces can also be opened in
 EASYVIEW to industrial-strength viewers.
 
 Format reference: complete ('X') duration events with microsecond
-timestamps; one thread id per virtual CPU.
+timestamps; one thread id per virtual CPU.  The export is lossless up
+to timestamp precision: every :class:`TraceEvent` field, including the
+``--check-races`` footprints, rides in the event ``args``, and
+:func:`load_chrome_trace` rebuilds a :class:`Trace` from the JSON —
+``easyview`` therefore accepts ``.json`` traces wherever it accepts
+``.evt`` ones.
 """
 
 from __future__ import annotations
@@ -18,9 +23,13 @@ import json
 import os
 from pathlib import Path
 
-from repro.trace.events import Trace
+from repro.errors import TraceError
+from repro.trace.events import Trace, TraceEvent, TraceMeta
 
-__all__ = ["to_chrome_events", "save_chrome_trace"]
+__all__ = ["to_chrome_events", "save_chrome_trace", "load_chrome_trace"]
+
+# args keys owned by the exporter; everything else round-trips as extra
+_OWN_KEYS = frozenset({"iteration", "kind", "x", "y", "w", "h", "reads", "writes"})
 
 
 def to_chrome_events(trace: Trace) -> list[dict]:
@@ -37,10 +46,14 @@ def to_chrome_events(trace: Trace) -> list[dict]:
         })
     for e in trace.events:
         name = e.kind
-        args = {"iteration": e.iteration}
+        args = {"iteration": e.iteration, "kind": e.kind}
         if e.has_tile:
             name = f"{e.kind} ({e.x},{e.y}) {e.w}x{e.h}"
-            args.update(x=e.x, y=e.y, w=e.w, h=e.h)
+        args.update(x=e.x, y=e.y, w=e.w, h=e.h)
+        if e.reads:
+            args["reads"] = [list(r) for r in e.reads]
+        if e.writes:
+            args["writes"] = [list(r) for r in e.writes]
         if e.extra:
             args.update(e.extra)
         events.append({
@@ -67,3 +80,50 @@ def save_chrome_trace(trace: Trace, path: str | os.PathLike) -> Path:
     }
     p.write_text(json.dumps(doc), encoding="utf-8")
     return p
+
+
+def load_chrome_trace(path: str | os.PathLike) -> Trace:
+    """Read a Chrome trace-event JSON file written by
+    :func:`save_chrome_trace` back into a :class:`Trace`.
+
+    Only 'X' (complete) events are considered; thread-name metadata is
+    viewer decoration.  Timestamps come back with microsecond precision
+    (the trace-event format's unit), which is finer than any virtual or
+    wall clock delta the framework records.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise TraceError(f"trace file not found: {p}")
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"bad Chrome trace JSON in {p}: {exc}") from None
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise TraceError(f"{p} is not a Chrome trace (no traceEvents key)")
+    meta = TraceMeta.from_dict(doc.get("otherData", {}))
+    events: list[TraceEvent] = []
+    for rec in doc["traceEvents"]:
+        if rec.get("ph") != "X":
+            continue
+        args = dict(rec.get("args", {}))
+        try:
+            ts = float(rec["ts"]) / 1e6
+            dur = float(rec.get("dur", 0.0)) / 1e6
+            events.append(TraceEvent.from_dict({
+                "iteration": args.get("iteration", 0),
+                "cpu": rec.get("tid", 0),
+                "start": ts,
+                "end": ts + dur,
+                "x": args.get("x", -1),
+                "y": args.get("y", -1),
+                "w": args.get("w", -1),
+                "h": args.get("h", -1),
+                "kind": args.get("kind", str(rec.get("name", "tile"))),
+                "reads": args.get("reads", ()),
+                "writes": args.get("writes", ()),
+                "extra": {k: v for k, v in args.items() if k not in _OWN_KEYS},
+            }))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"bad Chrome trace event in {p}: {exc}") from None
+    events.sort(key=lambda e: (e.start, e.cpu))
+    return Trace(meta, events)

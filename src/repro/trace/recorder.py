@@ -1,9 +1,9 @@
-"""Trace recorder: turns scheduler timelines into trace events."""
+"""Trace recorder: turns telemetry events into trace events."""
 
 from __future__ import annotations
 
 from repro.core.tiling import Tile
-from repro.sched.timeline import TaskExec, Timeline
+from repro.sched.timeline import TaskExec
 from repro.trace.events import Trace, TraceEvent, TraceMeta
 
 __all__ = ["TraceRecorder"]
@@ -12,9 +12,11 @@ __all__ = ["TraceRecorder"]
 class TraceRecorder:
     """Accumulates :class:`TraceEvent` s during a run.
 
-    The execution context feeds it every timeline produced by the
-    parallel runtime; the engine stamps metadata and hands the final
-    :class:`Trace` to the writer (``--trace``) or directly to EASYVIEW.
+    A consumer on the telemetry bus: the bus feeds it one
+    ``TileExecEvent`` per executed task (with its footprint already
+    paired in) plus run annotations; the engine stamps metadata and
+    hands the final :class:`Trace` to the writer (``--trace``) or
+    directly to EASYVIEW.
     """
 
     def __init__(self, meta: TraceMeta | None = None):
@@ -32,26 +34,15 @@ class TraceRecorder:
         """
         self.meta.extra.update(info)
 
-    def record_timeline(
-        self, timeline: Timeline, *, kind: str = "tile", footprints=None
-    ) -> None:
-        """Record every exec of ``timeline``.
+    # -- telemetry-bus consumer hooks ---------------------------------------
 
-        ``footprints``, when given, is a sequence of
-        :class:`~repro.core.access.Footprint` indexed by the exec's
-        ``meta["index"]`` (worksharing and sequential regions).  DAG
-        regions instead carry their footprint inline as
-        ``meta["footprint"]``.
-        """
-        if not self.enabled:
-            return
-        for e in timeline.execs:
-            fp = None
-            if footprints is not None and "index" in e.meta:
-                idx = e.meta["index"]
-                if 0 <= idx < len(footprints):
-                    fp = footprints[idx]
-            self.record_exec(e, kind=kind, footprint=fp)
+    def on_tile_exec(self, event) -> None:
+        self.record_exec(event.exec, footprint=event.footprint)
+
+    def on_annotation(self, event) -> None:
+        self.annotate(**event.data)
+
+    # -- recording ----------------------------------------------------------
 
     def record_exec(self, e: TaskExec, *, kind: str = "tile", footprint=None) -> None:
         if not self.enabled:

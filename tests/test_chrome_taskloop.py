@@ -72,6 +72,90 @@ class TestChromeExport:
         assert "#" in out
 
 
+class TestChromeRoundTrip:
+    """ISSUE-5 satellite: load → export → reload must preserve the trace."""
+
+    def _roundtrip(self, trace, tmp_path):
+        from repro.trace.chrome import load_chrome_trace
+
+        p = save_chrome_trace(trace, tmp_path / "rt.json")
+        return load_chrome_trace(p)
+
+    def test_events_survive_roundtrip(self, tmp_path):
+        trace = run(make_config(kernel="mandel", variant="omp_tiled",
+                                iterations=2, trace=True)).trace
+        back = self._roundtrip(trace, tmp_path)
+        assert len(back) == len(trace)
+        assert back.ncpus == trace.ncpus
+
+        def key(e):
+            return (e.iteration, e.cpu, e.kind, e.x, e.y, e.w, e.h, e.extra)
+
+        for a, b in zip(trace.sorted(), back.sorted()):
+            assert key(a) == key(b)
+            assert b.start == pytest.approx(a.start, abs=1e-9)
+            assert b.end == pytest.approx(a.end, abs=1e-9)
+
+    def test_meta_survives_roundtrip(self, tmp_path):
+        trace = run(make_config(trace=True)).trace
+        back = self._roundtrip(trace, tmp_path)
+        assert back.meta.to_dict() == trace.meta.to_dict()
+
+    def test_footprints_survive_roundtrip(self, tmp_path):
+        trace = run(make_config(kernel="blur", variant="omp_tiled",
+                                iterations=1, trace=True, footprints=True)).trace
+        assert any(e.reads or e.writes for e in trace.events)
+        back = self._roundtrip(trace, tmp_path)
+        for a, b in zip(trace.sorted(), back.sorted()):
+            assert b.reads == a.reads
+            assert b.writes == a.writes
+
+    def test_easyview_reads_json_traces(self, tmp_path, capsys):
+        from repro.easyview_cli import main as easyview_main
+
+        trace = run(make_config(kernel="mandel", variant="omp_tiled",
+                                iterations=1, trace=True)).trace
+        p = save_chrome_trace(trace, tmp_path / "t.json")
+        assert easyview_main([str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel=mandel" in out
+        assert f"{len(trace)} events" in out
+
+    def test_easyview_json_race_analysis(self, tmp_path, capsys):
+        """A footprinted export keeps enough fidelity for --races."""
+        from repro.easyview_cli import main as easyview_main
+
+        trace = run(make_config(kernel="blur", variant="omp_tiled",
+                                iterations=1, trace=True, footprints=True)).trace
+        p = save_chrome_trace(trace, tmp_path / "t.json")
+        assert easyview_main([str(p), "--races"]) == 0
+        assert "no data races" in capsys.readouterr().out
+
+    def test_export_reload_export_is_stable(self, tmp_path):
+        """A second export of the reloaded trace is byte-identical —
+        the round-trip has a fixed point."""
+        trace = run(make_config(trace=True)).trace
+        back = self._roundtrip(trace, tmp_path)
+        p1 = save_chrome_trace(back, tmp_path / "a.json")
+        back2 = self._roundtrip(back, tmp_path)
+        p2 = save_chrome_trace(back2, tmp_path / "b.json")
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_loader_rejects_non_chrome_json(self, tmp_path):
+        from repro.errors import TraceError
+        from repro.trace.chrome import load_chrome_trace
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"nope\": 1}")
+        with pytest.raises(TraceError):
+            load_chrome_trace(bad)
+        bad.write_text("not json at all")
+        with pytest.raises(TraceError):
+            load_chrome_trace(bad)
+        with pytest.raises(TraceError):
+            load_chrome_trace(tmp_path / "missing.json")
+
+
 class TestTaskloop:
     def _ctx(self):
         return ExecutionContext(make_config(nthreads=4), model=ZERO)

@@ -75,6 +75,31 @@ class TestExecute:
         rows = read_rows(tmp_path / "perf.csv")
         assert len(rows) == 4
 
+    def test_telemetry_counter_columns(self, tmp_path):
+        """Sweep rows carry the bus counters (steals, dropped_events)."""
+        rows = self._sweep(tmp_path)
+        for row in rows:
+            assert row["steals"] >= 0
+            assert row["dropped_events"] == 0  # in-process channel never drops
+        stealing = execute(
+            "easypap",
+            {"OMP_NUM_THREADS=": [4]},
+            {
+                "--kernel ": ["mandel"],
+                "--variant ": ["omp_tiled"],
+                "--size ": [64],
+                "--grain ": [16],
+                "--iterations ": [2],
+                "--schedule ": ["nonmonotonic:dynamic,1"],
+                # the fastpath skips the event-driven simulation (no
+                # steals to count); force the reference path
+                "--no-fastpath": [""],
+            },
+            runs=1,
+            csv_path=tmp_path / "steals.csv",
+        )
+        assert any(r["steals"] > 0 for r in stealing)
+
     def test_replay_matches_full_runs(self, tmp_path):
         """reuse_work=True must give exactly the same virtual times."""
         full = self._sweep(tmp_path)

@@ -301,8 +301,27 @@ def test_procs_refuses_mpi():
         make_config(backend="procs", mpi_np=2)
 
 
-def test_procs_refuses_footprints():
-    # worker-side declare_access never reaches the master's race
-    # analyzer: accepting --check-races would report a vacuous verdict
-    with pytest.raises(ConfigError, match="footprints"):
-        make_config(backend="procs", footprints=True)
+def test_procs_accepts_footprints():
+    """Worker footprints flow back over the telemetry ring (the PR-4
+    rejection is lifted): trace events carry non-empty reads/writes."""
+    res = run_backend(
+        "procs", kernel="blur", variant="omp_tiled",
+        trace=True, footprints=True, iterations=1,
+    )
+    tiles = [e for e in res.trace if e.kind == "tile"]
+    assert tiles and all(e.writes for e in tiles)
+    assert res.dropped_events == 0
+    # same footprints as the sim backend records for the same config
+    ref = run_backend(
+        "sim", kernel="blur", variant="omp_tiled",
+        trace=True, footprints=True, iterations=1,
+    )
+
+    def fp_multiset(trace):
+        return sorted(
+            (e.x, e.y, tuple(sorted(e.reads)), tuple(sorted(e.writes)))
+            for e in trace
+            if e.kind == "tile"
+        )
+
+    assert fp_multiset(res.trace) == fp_multiset(ref.trace)
