@@ -13,7 +13,6 @@ zero-overhead counterfactual in which the smallest tiles always win.
 """
 
 from _common import fmt_table, report
-
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.expt.replay import capture_log, replay_log

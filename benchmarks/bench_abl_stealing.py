@@ -8,7 +8,6 @@ operations; on balanced work neither steals at all.
 """
 
 from _common import fmt_table, report
-
 from repro.core.config import RunConfig
 from repro.expt.replay import capture_log
 from repro.sched.policies import NonMonotonicDynamic

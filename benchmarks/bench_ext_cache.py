@@ -12,7 +12,6 @@ accesses; this bench explores two textbook effects:
 """
 
 from _common import fmt_table, report
-
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.monitor.cache import (

@@ -13,8 +13,8 @@ work-group size.
 """
 
 import numpy as np
-from _common import fmt_table, report
 
+from _common import fmt_table, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.gpu.device import DeviceSpec, GpuDevice

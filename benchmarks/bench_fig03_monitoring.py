@@ -8,7 +8,6 @@ history grows; the Tiling window shows contiguous per-thread blocks.
 
 
 from _common import fmt_table, report
-
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_activity, render_idleness_history, render_tiling

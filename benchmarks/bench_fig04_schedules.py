@@ -9,8 +9,8 @@ Paper claims (Fig. 4):
 """
 
 import numpy as np
-from _common import fmt_table, report
 
+from _common import fmt_table, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.sched.costmodel import DEFAULT_COST_MODEL

@@ -16,7 +16,6 @@ Scaled here to dim 256 / max_iter 128 / runs=3, with work-profile reuse
 """
 
 from _common import fmt_table, report
-
 from repro.expt.csvdb import read_rows, unique_values
 from repro.expt.exptools import execute
 

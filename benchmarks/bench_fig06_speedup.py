@@ -20,8 +20,7 @@ the shape assertions then need actual cores to hold, so that mode is
 for hardware runs, not CI.
 """
 
-from _common import report, OUT_DIR
-
+from _common import OUT_DIR, report
 from repro.cli import config_from_args, parse_args
 from repro.core.engine import run
 from repro.expt.easyplot import build_plot

@@ -10,8 +10,7 @@ exercise the two mouse-query modes, and emit the SVG with hover
 tooltips.
 """
 
-from _common import report, OUT_DIR
-
+from _common import OUT_DIR, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.trace.gantt import GanttChart

@@ -11,8 +11,8 @@ Paper claims, for mandel under OpenMP dynamic scheduling of small tiles:
 """
 
 import numpy as np
-from _common import report
 
+from _common import report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_tiling

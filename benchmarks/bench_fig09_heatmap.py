@@ -7,8 +7,8 @@ Paper claims: with brightness proportional to task duration,
 """
 
 import numpy as np
-from _common import report, OUT_DIR
 
+from _common import OUT_DIR, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_heatmap

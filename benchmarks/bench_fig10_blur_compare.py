@@ -16,8 +16,8 @@ vectorized gap that motivates those constants.
 import time
 
 import numpy as np
-from _common import report, OUT_DIR
 
+from _common import OUT_DIR, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.kernels.blur import blur_rect_scalar, blur_rect_vectorized

@@ -10,8 +10,7 @@ Paper claims:
 """
 
 
-from _common import fmt_table, report, OUT_DIR
-
+from _common import OUT_DIR, fmt_table, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.sched.costmodel import CostModel

@@ -9,8 +9,8 @@ on the sparse diagonal-planers dataset:
 """
 
 import numpy as np
-from _common import fmt_table, report
 
+from _common import fmt_table, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.view.ascii import render_tiling

@@ -16,7 +16,6 @@ import io
 from contextlib import redirect_stdout
 
 from _common import report
-
 from repro.cli import main as easypap_main
 from repro.expt.csvdb import read_rows
 

@@ -12,7 +12,6 @@ import os
 import time
 
 from _common import fmt_table, report
-
 from repro.expt.csvdb import read_rows
 from repro.expt.exptools import execute
 

@@ -35,7 +35,6 @@ import time
 from pathlib import Path
 
 from _common import fmt_table, report
-
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.core.kernel import load_kernel_module

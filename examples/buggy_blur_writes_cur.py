@@ -39,3 +39,20 @@ class BuggyBlurKernel(BlurKernel):
             ctx.parallel_for(ctx.body(self._do_tile_writes_cur))
             # no swap: the result was (incorrectly) written in place
         return 0
+
+
+# Structured ground truth about the seeded bug, consumed by both the
+# dynamic race sweep (``python -m repro.analyze --examples``) and the
+# static-check CI matrix (``python -m repro.staticcheck ... --expect``).
+# Keys are (kernel, variant); variants not listed here (the ones
+# inherited unchanged from BlurKernel) must NOT be flagged.
+EXPECTED_VERDICTS = {
+    ("blur_buggy", "omp_tiled"): {
+        "verdict": "race",
+        "kind": "read-write",
+        "buffer": "cur",
+        "construct": "par",
+        "lines": [29, 30],
+        "advice": "double-buffer",
+    },
+}

@@ -61,3 +61,20 @@ class BuggyLifeKernel(LifeKernel):
             if stable:
                 return it
         return 0
+
+
+# Structured ground truth about the seeded bug, consumed by both the
+# dynamic race sweep (``python -m repro.analyze --examples``) and the
+# static-check CI matrix (``python -m repro.staticcheck ... --expect``).
+# Keys are (kernel, variant); variants not listed here (the ones
+# inherited unchanged from LifeKernel) must NOT be flagged.
+EXPECTED_VERDICTS = {
+    ("life_buggy", "omp_task"): {
+        "verdict": "race",
+        "kind": "read-write",
+        "buffer": "cells",
+        "construct": "dag",
+        "lines": [33, 34],
+        "advice": "missing ordering edge",
+    },
+}

@@ -3,9 +3,12 @@
 The CI gate: runs the static + dynamic lint (including the race
 detector) over each registered kernel/variant at a small deterministic
 size, and exits nonzero if any *error*-level finding shows up.  Built-in
-variants must come out clean; the seeded-buggy examples under
-``examples/`` are the positive fixtures (exercised by the tests, not by
-this sweep — they register extra kernels only when imported).
+variants must come out clean.  The seeded-buggy examples under
+``examples/`` can join the sweep via ``--load``: their
+``EXPECTED_VERDICTS`` annotations flip the polarity, so an annotated
+variant *must* produce a matching error finding (the seeded bug is
+confirmed) and then counts as OK, while a missing detection fails the
+sweep.
 """
 
 from __future__ import annotations
@@ -14,7 +17,8 @@ import argparse
 import sys
 
 from repro.analyze.lint import lint_variant
-from repro.core.kernel import get_kernel, list_kernels
+from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
+from repro.errors import EasypapError, UnknownKernelError
 
 #: variants that need an MPI world, with the process count to use
 MPI_VARIANTS = {"mpi_omp": 2, "mpi_2d": 4}
@@ -26,24 +30,52 @@ def sweep(
     dim: int = 64,
     tile: int = 16,
     verbose: bool = False,
+    expected: dict | None = None,
 ) -> int:
+    expected = expected or {}
     names = kernels or list_kernels()
-    nerrors = nwarnings = nchecked = 0
+    nerrors = nwarnings = nchecked = nconfirmed = 0
     for kname in names:
-        kernel = get_kernel(kname)
+        try:
+            kernel = get_kernel(kname)
+        except UnknownKernelError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
         for vname in kernel.variant_names():
             mpi_np = MPI_VARIANTS.get(vname, 0)
             result = lint_variant(
                 kname, vname, dim=dim, tile=tile, mpi_np=mpi_np
             )
             nchecked += 1
-            nerrors += len(result.errors)
             nwarnings += len(result.warnings)
+            exp = expected.get((kname, vname))
+            if exp and exp.get("verdict") == "race":
+                buf = exp.get("buffer", "")
+                matched = [
+                    f for f in result.errors
+                    if not buf or f"'{buf}'" in f.message
+                ]
+                if matched:
+                    nconfirmed += 1
+                    if verbose:
+                        print(
+                            f"{kname}/{vname}: seeded bug confirmed "
+                            f"({len(matched)} matching error finding(s))"
+                        )
+                else:
+                    nerrors += 1
+                    print(
+                        f"{kname}/{vname}: EXPECTED_VERDICTS announces a race "
+                        f"on buffer {buf!r}, but the dynamic sweep found none"
+                    )
+                continue
+            nerrors += len(result.errors)
             if verbose or not result.clean:
                 print(result.describe())
+    tail = f", {nconfirmed} seeded bug(s) confirmed" if nconfirmed else ""
     print(
         f"analyze: {nchecked} variants checked, "
-        f"{nerrors} error(s), {nwarnings} warning(s)"
+        f"{nerrors} error(s), {nwarnings} warning(s){tail}"
     )
     return 1 if nerrors else 0
 
@@ -56,9 +88,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-k", "--kernel", action="append", help="restrict to kernel(s)")
     parser.add_argument("-s", "--size", type=int, default=64, help="image size")
     parser.add_argument("--tile", type=int, default=16, help="tile size")
+    parser.add_argument(
+        "--load", action="append", default=[], metavar="FILE",
+        help="load a kernel module first (its EXPECTED_VERDICTS annotations "
+        "flip the polarity for the annotated variants)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
-    return sweep(args.kernel, dim=args.size, tile=args.tile, verbose=args.verbose)
+    expected: dict = {}
+    for path in args.load:
+        try:
+            module = load_kernel_module(path)
+        except EasypapError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        expected.update(getattr(module, "EXPECTED_VERDICTS", {}) or {})
+    return sweep(
+        args.kernel, dim=args.size, tile=args.tile, verbose=args.verbose,
+        expected=expected,
+    )
 
 
 if __name__ == "__main__":

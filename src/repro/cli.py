@@ -147,6 +147,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lint", action="store_true",
                    help="full parallel-correctness lint: races + tile "
                    "partition + double-buffer + shared-accumulator checks")
+    p.add_argument("--static-check", action="store_true",
+                   help="AST-based static analysis of the selected variant "
+                   "(race proof, backend eligibility, inferred halos) "
+                   "without executing it; alone, exits after the report "
+                   "(1 on a race verdict) — with --check-races, a race "
+                   "fails fast and a clean verdict skips dynamic footprint "
+                   "recording")
+    p.add_argument("--strict-races", action="store_true",
+                   help="fail (exit 1) when the race verdict is based on a "
+                   "lossy ring (telemetry events were dropped); implies "
+                   "--check-races")
     return p
 
 
@@ -192,7 +203,7 @@ def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunCo
     )
 
 
-def _run_analysis(args, config, result) -> int:
+def _run_analysis(args, config, result, static_clean: bool = False) -> int:
     """The ``--check-races`` / ``--lint`` report over a finished run."""
     from repro.analyze import check_races, lint_results
 
@@ -206,6 +217,9 @@ def _run_analysis(args, config, result) -> int:
         print(lr.describe())
         if lr.errors:
             status = 1
+    elif static_clean:
+        print("race check: statically proven clean — dynamic footprint "
+              "recording was skipped (static envelope trusted)")
     else:
         for r in results:
             if r.dropped_events:
@@ -220,6 +234,14 @@ def _run_analysis(args, config, result) -> int:
             print(prefix + rr.describe())
             if not rr.clean:
                 status = 1
+    if args.strict_races and any(r.dropped_events for r in results):
+        print(
+            "easypap: --strict-races: refusing the verdict — the telemetry "
+            "ring dropped events, so the happens-before analysis is "
+            f"incomplete (raise ${RING_CAP_ENV})",
+            file=sys.stderr,
+        )
+        status = 1
     return status
 
 
@@ -243,13 +265,48 @@ def main(argv: list[str] | None = None) -> int:
     except EasypapError as exc:
         print(f"easypap: {exc}", file=sys.stderr)
         return 2
+    if args.strict_races:
+        args.check_races = True
+
+    static_report = None
+    if args.static_check:
+        from repro.staticcheck import check_variant
+
+        try:
+            static_report = check_variant(get_kernel(config.kernel), config.variant)
+        except EasypapError as exc:
+            print(f"easypap: {exc}", file=sys.stderr)
+            return 2
+        print(static_report.describe())
+        for line in static_report.footprint_lines():
+            print(f"  {line}")
+        if static_report.verdict == "race":
+            print(
+                "easypap: static race verdict — the kernel was not executed",
+                file=sys.stderr,
+            )
+            return 1
+        if not (args.check_races or args.lint):
+            return 0  # static-only mode: report and stop, no execution
+
+    # a clean static verdict is a trusted input to the dynamic analysis:
+    # the race detector can skip footprint recording entirely (the
+    # static envelope already proved the accesses disjoint); ``unknown``
+    # falls through to the full dynamic path
+    static_clean = (
+        static_report is not None
+        and static_report.verdict == "clean"
+        and not args.lint
+    )
     if args.check_races or args.lint:
         # the analyses need every rank traced with footprints attached
         debug = config.debug
         if config.mpi_np and "M" not in debug:
             debug += "M"
         try:
-            config = config.with_(trace=True, footprints=True, debug=debug)
+            config = config.with_(
+                trace=True, footprints=not static_clean, debug=debug
+            )
         except EasypapError as exc:
             print(f"easypap: {exc}", file=sys.stderr)
             return 2
@@ -275,12 +332,15 @@ def main(argv: list[str] | None = None) -> int:
     if result.early_stop:
         print(f"stabilized at iteration {result.early_stop}")
 
+    if static_report is not None:
+        result.counters["staticcheck_ms"] = round(static_report.elapsed_ms, 3)
+
     # races make the run fail (exit 1) but only after the remaining
     # outputs (trace, dumps, CSV) are produced — the trace is what
     # easyview --races replays
     analysis_status = 0
     if args.check_races or args.lint:
-        analysis_status = _run_analysis(args, config, result)
+        analysis_status = _run_analysis(args, config, result, static_clean)
 
     if args.check and config.variant != "seq":
         # students' safety net: replay the run with the reference variant

@@ -81,7 +81,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--races", action="store_true",
                    help="run the happens-before race analysis on the trace "
                    "(needs footprints: record with easypap --check-races -t)")
+    p.add_argument("--halos", action="store_true",
+                   help="annotate the trace with the statically inferred "
+                   "per-tile halos of its kernel/variant and cross-validate "
+                   "the recorded footprints against the static envelope")
+    p.add_argument("--load", action="append", default=[], metavar="FILE",
+                   help="Python file registering extra kernels, so --halos "
+                   "can resolve a trace of a --load'ed kernel (repeatable)")
     args = p.parse_args(argv)
+
+    try:
+        for path in args.load:
+            from repro.core.kernel import load_kernel_module
+
+            load_kernel_module(path)
+    except EasypapError as exc:
+        print(f"easyview: {exc}", file=sys.stderr)
+        return 2
 
     first_it = last_it = None
     if args.iteration_range:
@@ -134,6 +150,24 @@ def main(argv: list[str] | None = None) -> int:
                 rr = check_races(trace)
                 print(rr.describe())
                 if not rr.clean:
+                    return 1
+            if args.halos:
+                from repro.core.kernel import get_kernel, list_kernels
+                from repro.staticcheck import check_variant, cross_validate
+
+                print("\nstatic halos:")
+                m = trace.meta
+                if m.kernel not in list_kernels():
+                    print(f"  kernel {m.kernel!r} is not registered — "
+                          "pass its module with --load")
+                    return 2
+                vr = check_variant(get_kernel(m.kernel), m.variant)
+                print(f"  {vr.describe()}")
+                for line in vr.footprint_lines():
+                    print(f"  {line}")
+                cv = cross_validate(vr, trace)
+                print(f"  {cv.describe()}")
+                if not cv.ok:
                     return 1
         elif len(args.traces) == 2:
             before = _load(args.traces[0])

@@ -1,0 +1,360 @@
+"""Variant extraction: variant function AST -> execution-region models.
+
+A variant is the orchestration layer of a kernel: it builds worksharing
+regions (``ctx.parallel_for`` / ``parallel_reduce``), sequential
+regions, and task DAGs (``with ctx.task_region() as tr``), passing
+tile/item bodies by reference.  This module recognizes those constructs
+syntactically and resolves each body to either a kernel method or an
+inline lambda / nested ``def`` for the footprint interpreter.
+
+Anything the extractor does not recognize as a *master-side* statement
+or a known construct — most notably accelerator ``device.launch``
+dispatches — marks the variant ``unknown``: the analyzer refuses to
+certify code whose execution structure it cannot see.
+
+Helper methods invoked from the variant (``self._full_pass(ctx, ...)``)
+are scanned recursively (bounded depth) so regions created inside them
+are modeled too.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.footprints import (
+    TILE,
+    BodyAnalyzer,
+    _fn_ast,
+)
+from repro.staticcheck.sym import Affine, sym
+
+__all__ = ["BodyRef", "TaskModel", "RegionModel", "VariantModel", "extract_variant"]
+
+_WORKSHARING = {"parallel_for": "par", "parallel_reduce": "reduce",
+                "sequential_for": "seq"}
+_HELPER_SCAN_DEPTH = 2
+
+
+@dataclass
+class BodyRef:
+    """A tile/item body: a kernel method name, or an inline AST node."""
+
+    method: str | None = None
+    node: object = None          # ast.Lambda | ast.FunctionDef
+    is_lambda: bool = False
+    tile_names: tuple = ()       # grid loop variables in scope (lambda defaults)
+    line: int = 0
+
+    @property
+    def label(self) -> str:
+        if self.method:
+            return f"self.{self.method}"
+        return "<lambda>" if self.is_lambda else "<nested def>"
+
+
+@dataclass
+class TaskModel:
+    """One ``tr.task(...)`` call inside a task region."""
+
+    body: BodyRef | None
+    dep_reads: list | None       # [(dr, dc)] or None when not affine
+    dep_writes: list | None
+    line: int = 0
+
+
+@dataclass
+class RegionModel:
+    construct: str               # "par" | "reduce" | "seq" | "dag"
+    kind: str = "tile"
+    item_kind: str = "tile"      # "tile" | "item"
+    bodies: list = field(default_factory=list)    # [BodyRef]
+    tasks: list = field(default_factory=list)     # [TaskModel]
+    frame: bool = False
+    line: int = 0
+    unknown: list = field(default_factory=list)
+    # filled by the driver:
+    footprints: list = field(default_factory=list)
+
+    @property
+    def parallel(self) -> bool:
+        return self.construct in ("par", "reduce", "dag")
+
+
+@dataclass
+class VariantModel:
+    kernel: str
+    variant: str
+    regions: list = field(default_factory=list)
+    unknown: list = field(default_factory=list)
+    file: str = ""
+    ctx_name: str = "ctx"
+
+
+def _mentions_grid(node, ctx_name: str) -> bool:
+    for n in ast.walk(node):
+        if (isinstance(n, ast.Attribute) and n.attr == "grid"
+                and isinstance(n.value, ast.Name) and n.value.id == ctx_name):
+            return True
+    return False
+
+
+def _iter_calls(stmt):
+    """Call nodes of a statement, skipping lambda / nested-def bodies
+    (those run later, inside the construct that receives them)."""
+    todo = [stmt]
+    while todo:
+        n = todo.pop()
+        if isinstance(n, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(n, ast.Call):
+            yield n
+        todo.extend(ast.iter_child_nodes(n))
+
+
+class _Extractor:
+    def __init__(self, kernel_cls, model: VariantModel):
+        self.kernel_cls = kernel_cls
+        self.model = model
+        self._seen_helpers: set = set()
+
+    # -- body resolution ----------------------------------------------------
+
+    def _resolve_body(self, node, ctx_name, local_defs, tile_names) -> BodyRef | None:
+        if isinstance(node, ast.Call):
+            f = node.func
+            if (isinstance(f, ast.Attribute) and f.attr == "body"
+                    and isinstance(f.value, ast.Name) and f.value.id == ctx_name
+                    and node.args):
+                return self._resolve_body(node.args[0], ctx_name, local_defs, tile_names)
+            return None
+        if isinstance(node, ast.Lambda):
+            return BodyRef(node=node, is_lambda=True, tile_names=tuple(tile_names),
+                           line=node.lineno)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if getattr(self.kernel_cls, node.attr, None) is not None:
+                    return BodyRef(method=node.attr, line=node.lineno)
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in local_defs:
+                return BodyRef(node=local_defs[node.id], tile_names=tuple(tile_names),
+                               line=node.lineno)
+            if getattr(self.kernel_cls, node.id, None) is not None:
+                return BodyRef(method=node.id, line=node.lineno)
+            return None
+        return None
+
+    # -- construct parsing --------------------------------------------------
+
+    def _kw(self, call, name):
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _region_from_call(self, call, construct, ctx_name, local_defs, tile_names):
+        kind = "tile"
+        kind_node = self._kw(call, "kind")
+        region = RegionModel(construct=construct, line=call.lineno)
+        if kind_node is not None:
+            if isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str):
+                kind = kind_node.value
+            else:
+                region.unknown.append(
+                    f"non-literal kind= at line {call.lineno}"
+                )
+        region.kind = kind
+        region.item_kind = "tile" if kind == "tile" else "item"
+        region.frame = self._kw(call, "frame") is not None
+        if not call.args:
+            region.unknown.append(f"{construct} region without a body at line {call.lineno}")
+            self.model.regions.append(region)
+            return
+        body = self._resolve_body(call.args[0], ctx_name, local_defs, tile_names)
+        if body is None:
+            region.unknown.append(
+                f"could not resolve the {construct} body at line {call.lineno}"
+            )
+        else:
+            region.bodies.append(body)
+        self.model.regions.append(region)
+
+    def _dep_offsets(self, node, tile_names) -> list | None:
+        """``reads=[(t.row, t.col - 1), ...]`` -> ``[(0, -1), ...]``."""
+        if node is None:
+            return []
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return None
+        analyzer = BodyAnalyzer(self.kernel_cls)
+        env = {name: TILE for name in tile_names}
+        offsets = []
+        for elt in node.elts:
+            if not (isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) == 2):
+                return None
+            r = analyzer.eval(elt.elts[0], dict(env))
+            c = analyzer.eval(elt.elts[1], dict(env))
+            if not (isinstance(r, Affine) and isinstance(c, Affine)):
+                return None
+            dr = r - sym("TR")
+            dc = c - sym("TC")
+            if not (dr.is_const and dc.is_const):
+                return None
+            offsets.append((dr.k, dc.k))
+        return offsets
+
+    def _scan_task_region(self, with_stmt, ctx_name, local_defs, tile_names):
+        item = with_stmt.items[0]
+        call = item.context_expr
+        kind = "task"
+        kind_node = self._kw(call, "kind")
+        if isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str):
+            kind = kind_node.value
+        region = RegionModel(construct="dag", kind=kind, line=with_stmt.lineno)
+        tr_name = None
+        if isinstance(item.optional_vars, ast.Name):
+            tr_name = item.optional_vars.id
+        if tr_name is None:
+            region.unknown.append(
+                f"task region without an `as` name at line {with_stmt.lineno}"
+            )
+            self.model.regions.append(region)
+            return
+
+        def scan(stmts, names):
+            for stmt in stmts:
+                if isinstance(stmt, ast.For):
+                    inner = list(names)
+                    if (_mentions_grid(stmt.iter, ctx_name)
+                            and isinstance(stmt.target, ast.Name)):
+                        inner.append(stmt.target.id)
+                    scan(stmt.body, inner)
+                    scan(stmt.orelse, inner)
+                    continue
+                if isinstance(stmt, (ast.If, ast.While)):
+                    scan(stmt.body, names)
+                    scan(stmt.orelse, names)
+                    continue
+                if isinstance(stmt, ast.With):
+                    scan(stmt.body, names)
+                    continue
+                for call_node in _iter_calls(stmt):
+                    f = call_node.func
+                    if not (isinstance(f, ast.Attribute)
+                            and isinstance(f.value, ast.Name)
+                            and f.value.id == tr_name):
+                        continue
+                    if f.attr == "taskloop":
+                        region.unknown.append(
+                            f"tr.taskloop at line {call_node.lineno} is not modeled"
+                        )
+                        continue
+                    if f.attr != "task":
+                        continue
+                    body = None
+                    if call_node.args:
+                        body = self._resolve_body(
+                            call_node.args[0], ctx_name, local_defs, names
+                        )
+                    reads = self._dep_offsets(self._kw(call_node, "reads"), names)
+                    writes = self._dep_offsets(self._kw(call_node, "writes"), names)
+                    if body is None:
+                        region.unknown.append(
+                            f"could not resolve the task body at line {call_node.lineno}"
+                        )
+                    region.tasks.append(TaskModel(
+                        body=body, dep_reads=reads, dep_writes=writes,
+                        line=call_node.lineno,
+                    ))
+
+        scan(with_stmt.body, list(tile_names))
+        self.model.regions.append(region)
+
+    # -- statement walk -----------------------------------------------------
+
+    def scan_function(self, node, ctx_name, depth=0):
+        local_defs = {
+            s.name: s for s in ast.walk(node) if isinstance(s, ast.FunctionDef)
+            and s is not node
+        }
+        self._scan_block(node.body, ctx_name, local_defs, [], depth)
+
+    def _scan_block(self, stmts, ctx_name, local_defs, tile_names, depth):
+        for stmt in stmts:
+            if isinstance(stmt, ast.With):
+                call = stmt.items[0].context_expr
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "task_region"
+                        and isinstance(call.func.value, ast.Name)
+                        and call.func.value.id == ctx_name):
+                    self._scan_task_region(stmt, ctx_name, local_defs, tile_names)
+                    continue
+                self._scan_block(stmt.body, ctx_name, local_defs, tile_names, depth)
+                continue
+            if isinstance(stmt, ast.For):
+                inner = list(tile_names)
+                if (_mentions_grid(stmt.iter, ctx_name)
+                        and isinstance(stmt.target, ast.Name)):
+                    inner.append(stmt.target.id)
+                self._scan_block(stmt.body, ctx_name, local_defs, inner, depth)
+                self._scan_block(stmt.orelse, ctx_name, local_defs, inner, depth)
+                continue
+            if isinstance(stmt, (ast.If, ast.While)):
+                self._scan_block(stmt.body, ctx_name, local_defs, tile_names, depth)
+                self._scan_block(stmt.orelse, ctx_name, local_defs, tile_names, depth)
+                continue
+            if isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    self._scan_block(block, ctx_name, local_defs, tile_names, depth)
+                for handler in stmt.handlers:
+                    self._scan_block(handler.body, ctx_name, local_defs, tile_names, depth)
+                continue
+            if isinstance(stmt, ast.FunctionDef):
+                continue
+            self._scan_statement(stmt, ctx_name, local_defs, tile_names, depth)
+
+    def _scan_statement(self, stmt, ctx_name, local_defs, tile_names, depth):
+        for call in _iter_calls(stmt):
+            f = call.func
+            if not isinstance(f, ast.Attribute):
+                continue
+            if f.attr == "launch":
+                self.model.unknown.append(
+                    f"unrecognized execution construct "
+                    f"'{ast.unparse(f)}' at line {call.lineno}"
+                )
+                continue
+            if not isinstance(f.value, ast.Name):
+                continue
+            if f.value.id == ctx_name:
+                if f.attr in _WORKSHARING:
+                    self._region_from_call(call, _WORKSHARING[f.attr], ctx_name,
+                                           local_defs, tile_names)
+                # run_on_master and friends execute on the master: no
+                # concurrency, nothing to model here
+                continue
+            if f.value.id == "self" and depth < _HELPER_SCAN_DEPTH:
+                helper = getattr(self.kernel_cls, f.attr, None)
+                if helper is None or not callable(helper) or f.attr in self._seen_helpers:
+                    continue
+                if isinstance(helper, (staticmethod, classmethod)):
+                    helper = helper.__func__
+                self._seen_helpers.add(f.attr)
+                try:
+                    hnode, _ = _fn_ast(helper)
+                except (OSError, TypeError):
+                    continue
+                params = [a.arg for a in hnode.args.args]
+                helper_ctx = params[1] if len(params) > 1 else ctx_name
+                self.scan_function(hnode, helper_ctx, depth + 1)
+
+
+def extract_variant(kernel_cls, kernel_name: str, variant_name: str, fn) -> VariantModel:
+    node, file = _fn_ast(fn)
+    params = [a.arg for a in node.args.args]
+    ctx_name = params[1] if len(params) > 1 else "ctx"
+    model = VariantModel(kernel=kernel_name, variant=variant_name,
+                         file=file, ctx_name=ctx_name)
+    _Extractor(kernel_cls, model).scan_function(node, ctx_name)
+    return model

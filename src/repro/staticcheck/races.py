@@ -1,0 +1,249 @@
+"""Static race proofs over symbolic footprints.
+
+For a worksharing region every item runs concurrently (the analyzer
+treats *all* schedule families as fully parallel — any static/dynamic/
+guided chunking is a subset of that, so the verdict covers each).  Two
+concurrent tiles are modeled as the symbolic tile ``A`` and a neighbor
+``B`` shifted by ``(dc*TW, dr*TH)`` pixels (``(dr, dc)`` grid offset);
+row/item regions shift the item symbol by a fresh positive ``K``.
+
+A *proven overlap* between a write of one instance and an access of the
+other — for some concrete neighbor offset — is a definite race: there
+exists a grid (any with a neighbor in that direction) on which the two
+accesses touch the same cell with no ordering between them.  A pair
+that can be neither proven overlapping nor proven disjoint makes the
+region ``unknown`` for that buffer; it is never reported as clean.
+
+Task-DAG regions additionally get an *ordering-coverage* proof: the
+declared dependences induce a cone of reachable tile offsets (sums of
+dependence offsets, i.e. chains of edges through intermediate tasks);
+a conflicting offset outside ``cone U -cone`` is an unordered conflict
+— the dynamic detector's "missing ordering edge", derived without
+running the DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.staticcheck.extract import RegionModel
+from repro.staticcheck.footprints import BodyFootprint
+from repro.staticcheck.sym import SymRect, const, relation, sym
+
+__all__ = ["StaticRace", "check_region", "dep_cone"]
+
+#: neighbor offsets, nearest first (the first proven conflict is reported)
+_OFFSETS = sorted(
+    ((dr, dc) for dr in range(-2, 3) for dc in range(-2, 3) if (dr, dc) != (0, 0)),
+    key=lambda o: (abs(o[0]) + abs(o[1]), o),
+)
+_CONE_RADIUS = 4
+
+
+@dataclass(frozen=True)
+class StaticRace:
+    """One statically proven data race."""
+
+    kind: str        # "read-write" | "write-write"
+    buf: str
+    construct: str   # "par" | "reduce" | "dag"
+    offset: tuple    # (dr, dc) grid offset, or (0, k) for item regions
+    lines: tuple     # conflicting source lines, sorted
+    file: str = ""
+    a_access: str = ""
+    b_access: str = ""
+    advice: str = ""
+
+    def describe(self) -> str:
+        where = (f"items at distance {self.offset[1]}"
+                 if self.construct == "item"
+                 else f"tiles at grid offset ({self.offset[0]}, {self.offset[1]})")
+        lines = ", ".join(f"{self.file}:{ln}" for ln in self.lines)
+        out = [
+            f"{self.kind} race on buffer {self.buf!r} between concurrent "
+            f"{where}:",
+            f"  {self.a_access}",
+            f"  {self.b_access}",
+            f"  conflicting lines: {lines}",
+        ]
+        if self.advice:
+            out.append(f"  advice: {self.advice}")
+        return "\n".join(out)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind, "buf": self.buf, "construct": self.construct,
+            "offset": list(self.offset), "lines": list(self.lines),
+            "file": self.file, "advice": self.advice,
+        }
+
+
+def _tile_shift(dr: int, dc: int) -> dict:
+    return {
+        "TX": sym("TX") + sym("TW").scale(dc),
+        "TY": sym("TY") + sym("TH").scale(dr),
+        "TR": sym("TR") + const(dr),
+        "TC": sym("TC") + const(dc),
+    }
+
+
+def _item_shift(k: int = 1) -> dict:
+    return {"IT": sym("IT") + sym("K").scale(k)}
+
+
+def _merge_footprints(fps) -> BodyFootprint:
+    merged = BodyFootprint()
+    for fp in fps:
+        merged.reads.extend(fp.reads)
+        merged.writes.extend(fp.writes)
+        merged.declared |= fp.declared
+        merged.unknown.extend(fp.unknown)
+        if not merged.file:
+            merged.file = fp.file
+    return merged
+
+
+def _conflicting_pairs(fp: BodyFootprint, shift: dict):
+    """(a, b_shifted, kind) candidates between instance A and shifted B."""
+    b_reads = [r.subst(shift) for r in fp.reads]
+    b_writes = [w.subst(shift) for w in fp.writes]
+    for a in fp.writes:
+        for b in b_writes:
+            yield a, b, "write-write"
+    for a in fp.reads:
+        for b in b_writes:
+            yield a, b, "read-write"
+    for a in fp.writes:
+        for b in b_reads:
+            yield a, b, "read-write"
+
+
+def dep_cone(offsets, radius: int = _CONE_RADIUS) -> set:
+    """Tile offsets reachable through chains of dependence edges.
+
+    An edge covers offset ``d``; a chain through intermediate tasks
+    covers any sum of edge offsets (intermediate tiles exist on a
+    rectangular grid whenever both endpoints do)."""
+    seen = {(0, 0)}
+    stack = [(0, 0)]
+    while stack:
+        p = stack.pop()
+        for (a, b) in offsets:
+            q = (p[0] + a, p[1] + b)
+            if q not in seen and abs(q[0]) <= radius and abs(q[1]) <= radius:
+                seen.add(q)
+                stack.append(q)
+    seen.discard((0, 0))
+    return seen
+
+
+def _race(kind, buf, construct, offset, a: SymRect, b: SymRect, file, advice):
+    lines = tuple(sorted({a.line, b.line}))
+    return StaticRace(
+        kind=kind, buf=buf, construct=construct, offset=offset, lines=lines,
+        file=file,
+        a_access=f"access {a.describe()} at line {a.line}",
+        b_access=f"conflicts with the neighbor's {b.describe()} at line {b.line}",
+        advice=advice,
+    )
+
+
+def _worksharing_races(region: RegionModel, fp: BodyFootprint):
+    races, unknowns = [], []
+    seen_race = set()
+    seen_unknown = set()
+    if region.item_kind == "tile":
+        shifts = [((dr, dc), _tile_shift(dr, dc)) for dr, dc in _OFFSETS]
+        construct = region.construct
+    else:
+        shifts = [((0, 1), _item_shift())]
+        construct = "item"
+    advice = ("concurrent instances touch overlapping regions with no "
+              "ordering; double-buffer (write the 'next' plane and swap "
+              "after the region) or restructure the decomposition")
+    for offset, shift in shifts:
+        for a, b, kind in _conflicting_pairs(fp, shift):
+            rel = relation(a, b)
+            if rel == "overlap" and (a.buf, kind) not in seen_race:
+                seen_race.add((a.buf, kind))
+                races.append(_race(kind, a.buf, construct, offset, a, b,
+                                   fp.file, advice))
+            elif rel == "unknown" and (a.buf, kind) not in seen_unknown:
+                seen_unknown.add((a.buf, kind))
+                unknowns.append(
+                    f"accesses on buffer {a.buf!r} (lines {a.line}, {b.line}) "
+                    "are not provably disjoint across concurrent instances"
+                )
+    # a proven race on a buffer supersedes an unknown on the same buffer
+    raced = {r.buf for r in races}
+    unknowns = [u for u in unknowns
+                if not any(f"'{b}'" in u or f'"{b}"' in u for b in raced)]
+    return races, unknowns
+
+
+def _dag_races(region: RegionModel, fp: BodyFootprint):
+    races, unknowns = [], []
+    if len(region.tasks) > 1:
+        unknowns.append(
+            "multiple task declarations per region are not modeled"
+        )
+        return races, unknowns
+    task = region.tasks[0]
+    if task.dep_reads is None or task.dep_writes is None:
+        unknowns.append(
+            f"task dependences at line {task.line} are not affine in the "
+            "tile grid coordinates"
+        )
+        return races, unknowns
+    if any(off != (0, 0) for off in task.dep_writes):
+        unknowns.append(
+            f"task at line {task.line} declares an out-dependence on a "
+            "different tile; coverage is not modeled"
+        )
+        return races, unknowns
+    cone = dep_cone(task.dep_reads)
+    seen = set()
+    for dr, dc in _OFFSETS:
+        covered = (dr, dc) in cone or (-dr, -dc) in cone
+        shift = _tile_shift(dr, dc)
+        for a, b, kind in _conflicting_pairs(fp, shift):
+            rel = relation(a, b)
+            if rel == "disjoint":
+                continue
+            if covered:
+                continue
+            key = (a.buf, kind, "race" if rel == "overlap" else "unknown")
+            if key in seen:
+                continue
+            seen.add(key)
+            if rel == "overlap":
+                dep = f"reads=[(t.row{dr:+d}, t.col{dc:+d})]"
+                advice = (
+                    "missing ordering edge: the declared dependences do not "
+                    f"cover grid offset ({dr}, {dc}) — add the in-dependence "
+                    f"{dep} (or the symmetric one) to order the conflicting tasks"
+                )
+                races.append(_race(kind, a.buf, "dag", (dr, dc), a, b,
+                                   fp.file, advice))
+            else:
+                unknowns.append(
+                    f"accesses on buffer {a.buf!r} (lines {a.line}, {b.line}) "
+                    f"are not provably disjoint at uncovered grid offset "
+                    f"({dr}, {dc})"
+                )
+    return races, unknowns
+
+
+def check_region(region: RegionModel):
+    """(races, unknowns) for one region; empty for sequential regions."""
+    if not region.parallel:
+        return [], []
+    fp = _merge_footprints(region.footprints)
+    body_unknowns = list(dict.fromkeys(fp.unknown))
+    if region.construct in ("par", "reduce"):
+        races, unknowns = _worksharing_races(region, fp)
+    else:
+        if not region.tasks:
+            return [], list(region.unknown) + body_unknowns
+        races, unknowns = _dag_races(region, fp)
+    return races, list(region.unknown) + body_unknowns + unknowns

@@ -1,0 +1,275 @@
+"""Symbolic affine arithmetic over tile coordinates.
+
+The static analyzer describes every buffer access as a rectangle whose
+bounds are *affine expressions* of the tile symbols:
+
+========  =====================================================
+``TX``    tile origin column (``tile.x``)
+``TY``    tile origin row (``tile.y``)
+``TW``    tile width (``tile.w``)
+``TH``    tile height (``tile.h``)
+``TR``    tile grid row (``tile.row``)
+``TC``    tile grid column (``tile.col``)
+``IT``    item index for non-tile worksharing (row kernels)
+``DIM``   image side length
+``K``     fresh positive offset (distance between two items)
+========  =====================================================
+
+Anything that cannot be expressed as ``const + sum(coeff * sym)`` with
+integer coefficients collapses to :data:`TOP` ("unknown value").  TOP
+is absorbing: arithmetic with TOP yields TOP, and a rectangle with a
+TOP bound can never *prove* anything — which is exactly the soundness
+contract (``unknown``, never a false ``clean``).
+
+Proofs use the box domain: every symbol has a known lower bound
+(:data:`LOWER`) and no upper bound, so an affine expression has a
+computable minimum over the box (attained at the lower-bound vertex
+when every coefficient is non-negative, ``-inf`` otherwise).  An
+inequality ``e >= 0`` holds for *all* instantiations iff that minimum
+is ``>= 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "Affine", "TOP", "is_top", "sym", "const", "SymRect",
+    "always_ge", "always_gt", "relation", "LOWER",
+]
+
+#: lower bounds of the symbol box (no symbol has an upper bound)
+LOWER = {
+    "TX": 0, "TY": 0, "TR": 0, "TC": 0, "IT": 0,
+    "TW": 1, "TH": 1, "DIM": 1, "K": 1,
+}
+
+
+class _Top:
+    """Absorbing unknown value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "?"
+
+
+TOP = _Top()
+
+
+def is_top(v) -> bool:
+    return v is TOP
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``const + sum(coeff * sym)`` with integer coefficients."""
+
+    coeffs: tuple = ()  # sorted ((sym, coeff), ...), zero coeffs removed
+    k: int = 0
+
+    @staticmethod
+    def normalize(mapping: dict, k) -> "Affine":
+        items = tuple(sorted((s, c) for s, c in mapping.items() if c))
+        return Affine(items, k)
+
+    def as_dict(self) -> dict:
+        return dict(self.coeffs)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        d = self.as_dict()
+        for s, c in other.coeffs:
+            d[s] = d.get(s, 0) + c
+        return Affine.normalize(d, self.k + other.k)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "Affine":
+        return Affine.normalize({s: c * factor for s, c in self.coeffs}, self.k * factor)
+
+    def subst(self, mapping: dict):
+        """Replace symbols by affine expressions, ints, or TOP."""
+        out = const(self.k)
+        for s, c in self.coeffs:
+            repl = mapping.get(s)
+            if repl is None:
+                repl = sym(s)
+            elif isinstance(repl, int):
+                repl = const(repl)
+            elif is_top(repl):
+                return TOP
+            out = out + repl.scale(c)
+        return out
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def min_value(self) -> float:
+        """Minimum over the symbol box (``-inf`` if unbounded below)."""
+        v = float(self.k)
+        for s, c in self.coeffs:
+            if c > 0:
+                v += c * LOWER.get(s, 0)
+            else:
+                return float("-inf")
+        return v
+
+    def value(self, env: dict) -> int | None:
+        """Numeric value under a full numeric assignment (None if a
+        symbol is missing from ``env``)."""
+        v = self.k
+        for s, c in self.coeffs:
+            if s not in env:
+                return None
+            v += c * env[s]
+        return v
+
+    def __str__(self):
+        parts = []
+        for s, c in self.coeffs:
+            if c == 1:
+                parts.append(f"+{s}")
+            elif c == -1:
+                parts.append(f"-{s}")
+            else:
+                parts.append(f"{c:+d}*{s}")
+        if self.k or not parts:
+            parts.append(f"{self.k:+d}")
+        text = "".join(parts)
+        return text[1:] if text.startswith("+") else text
+
+
+def sym(name: str) -> Affine:
+    return Affine(((name, 1),), 0)
+
+
+def const(k: int) -> Affine:
+    return Affine((), int(k))
+
+
+def _add(a, b):
+    return TOP if a is TOP or b is TOP else a + b
+
+
+def _sub(a, b):
+    return TOP if a is TOP or b is TOP else a - b
+
+
+def always_ge(a, b) -> bool:
+    """Provably ``a >= b`` for every instantiation in the box."""
+    if a is TOP or b is TOP:
+        return False
+    return (a - b).min_value() >= 0
+
+
+def always_gt(a, b) -> bool:
+    """Provably ``a > b`` (integer semantics: ``a - b >= 1``)."""
+    if a is TOP or b is TOP:
+        return False
+    return (a - b).min_value() >= 1
+
+
+@dataclass(frozen=True)
+class SymRect:
+    """Half-open symbolic rectangle ``[x0, x1) x [y0, y1)`` on ``buf``.
+
+    ``clipped`` marks an *outer envelope* whose true extent may be
+    smaller (halo clipping at image borders); ``conditional`` marks an
+    access guarded by a branch.  Both still participate in conflict
+    detection — a race proof instantiates an interior tile where the
+    clip does not bind.
+    """
+
+    buf: str
+    x0: object = TOP  # Affine or TOP
+    y0: object = TOP
+    x1: object = TOP
+    y1: object = TOP
+    line: int = 0
+    clipped: bool = False
+    conditional: bool = False
+
+    def is_unknown(self) -> bool:
+        return any(is_top(b) for b in (self.x0, self.y0, self.x1, self.y1))
+
+    def subst(self, mapping: dict) -> "SymRect":
+        def s(b):
+            return TOP if is_top(b) else b.subst(mapping)
+
+        return replace(self, x0=s(self.x0), y0=s(self.y0), x1=s(self.x1), y1=s(self.y1))
+
+    def describe(self) -> str:
+        if self.is_unknown():
+            return f"{self.buf}[?]"
+        return (f"{self.buf}[x={self.x0}..{self.x1}, y={self.y0}..{self.y1}]")
+
+    def bounds_json(self):
+        def b(v):
+            return None if is_top(v) else str(v)
+
+        return {"x0": b(self.x0), "y0": b(self.y0), "x1": b(self.x1), "y1": b(self.y1)}
+
+    def contains_numeric(self, x: int, y: int, w: int, h: int, env: dict) -> bool:
+        """Does the rect contain ``[x, x+w) x [y, y+h)`` under the numeric
+        assignment ``env``?  TOP bounds contain everything (an unknown
+        envelope constrains nothing)."""
+
+        def lo(bound, limit):
+            if is_top(bound):
+                return True
+            v = bound.value(env)
+            return v is None or v <= limit
+
+        def hi(bound, limit):
+            if is_top(bound):
+                return True
+            v = bound.value(env)
+            return v is None or v >= limit
+
+        return (lo(self.x0, x) and lo(self.y0, y)
+                and hi(self.x1, x + w) and hi(self.y1, y + h))
+
+
+def _axis_disjoint(a0, a1, b0, b1) -> bool:
+    """One axis provably separates (or one interval is provably empty)."""
+    return (always_ge(b0, a1) or always_ge(a0, b1)
+            or always_ge(a0, a1) or always_ge(b0, b1))
+
+
+def _axis_overlap(a0, a1, b0, b1) -> bool:
+    """Both intervals provably intersect: every upper bound strictly
+    exceeds every lower bound (implies both are non-empty)."""
+    return all(always_gt(hi, lo) for hi in (a1, b1) for lo in (a0, b0))
+
+
+def relation(a: SymRect, b: SymRect) -> str:
+    """Three-way decision: ``disjoint`` | ``overlap`` | ``unknown``.
+
+    ``overlap`` means a common cell exists for *every* instantiation in
+    the box — this is what licenses a definite race verdict.
+    ``disjoint`` means no instantiation shares a cell.  Anything else
+    is ``unknown`` and must never be reported as clean.
+    """
+    if a.buf != b.buf:
+        return "disjoint"
+    if a.is_unknown() or b.is_unknown():
+        return "unknown"
+    if (_axis_disjoint(a.x0, a.x1, b.x0, b.x1)
+            or _axis_disjoint(a.y0, a.y1, b.y0, b.y1)):
+        return "disjoint"
+    if (_axis_overlap(a.x0, a.x1, b.x0, b.x1)
+            and _axis_overlap(a.y0, a.y1, b.y0, b.y1)):
+        return "overlap"
+    return "unknown"
+
+
+# re-exported helpers for the evaluator
+add = _add
+sub = _sub

@@ -6,11 +6,21 @@ from pathlib import Path
 
 from repro.analyze.__main__ import main as analyze_main
 from repro.cli import main as easypap_main
+from repro.core.kernel import load_kernel_module
 from repro.easyview_cli import main as easyview_main
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 BUGGY_BLUR = str(EXAMPLES / "buggy_blur_writes_cur.py")
 BUGGY_LIFE = str(EXAMPLES / "buggy_life_taskdeps.py")
+
+# the structured ground truth shipped with each seeded-buggy example is
+# the single source of expectations for these tests (no ad-hoc strings)
+BLUR_EXPECTED = load_kernel_module(BUGGY_BLUR).EXPECTED_VERDICTS[
+    ("blur_buggy", "omp_tiled")
+]
+LIFE_EXPECTED = load_kernel_module(BUGGY_LIFE).EXPECTED_VERDICTS[
+    ("life_buggy", "omp_task")
+]
 
 
 class TestEasypapCheckRaces:
@@ -30,7 +40,8 @@ class TestEasypapCheckRaces:
         )
         assert rc == 1
         out = capsys.readouterr().out
-        assert "read-write race on buffer 'cur'" in out
+        exp = BLUR_EXPECTED
+        assert f"{exp['kind']} race on buffer '{exp['buffer']}'" in out
         assert "task #" in out and "tile x=" in out
 
     def test_lint_flag_full_report(self, capsys):
@@ -41,7 +52,7 @@ class TestEasypapCheckRaces:
         assert rc == 1
         out = capsys.readouterr().out
         assert "life_buggy/omp_task" in out
-        assert "missing ordering edge" in out
+        assert LIFE_EXPECTED["advice"] in out
 
     def test_mpi_variant_checked_per_rank(self, capsys):
         rc = easypap_main(
@@ -90,7 +101,8 @@ class TestEasyviewRaces:
         out = capsys.readouterr().out
         assert rc == 1
         assert "race analysis:" in out
-        assert "read-write race on buffer 'cur'" in out
+        exp = BLUR_EXPECTED
+        assert f"{exp['kind']} race on buffer '{exp['buffer']}'" in out
 
     def test_roundtrip_clean_trace(self, tmp_path, capsys):
         rc, trace = self._record(tmp_path, ["-k", "life", "-v", "omp_tiled"])
@@ -112,6 +124,45 @@ class TestEasyviewRaces:
         assert "no footprints" in out
 
 
+class TestStrictRaces:
+    """--strict-races: a verdict from a lossy telemetry ring must not
+    silently pass (the dropped events could hold the racy accesses)."""
+
+    ARGS = ["-k", "blur", "-v", "omp_tiled", "-s", "64", "-ts", "16", "-i", "2"]
+
+    def _lossy_run(self, monkeypatch, dropped):
+        import repro.cli as cli
+
+        real_run = cli.run
+
+        def lossy(config, **kwargs):
+            result = real_run(config, **kwargs)
+            result.dropped_events = dropped
+            return result
+
+        monkeypatch.setattr(cli, "run", lossy)
+
+    def test_implies_check_races(self, capsys):
+        rc = easypap_main([*self.ARGS, "--strict-races"])
+        assert rc == 0
+        assert "no data races" in capsys.readouterr().out
+
+    def test_lossy_ring_fails(self, capsys, monkeypatch):
+        self._lossy_run(monkeypatch, dropped=3)
+        rc = easypap_main([*self.ARGS, "--strict-races"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "--strict-races" in captured.err
+        assert "no data races" in captured.out  # verdict still printed
+
+    def test_lossy_ring_only_warns_without_flag(self, capsys, monkeypatch):
+        self._lossy_run(monkeypatch, dropped=3)
+        rc = easypap_main([*self.ARGS, "--check-races"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "dropped by the ring buffer" in captured.err
+
+
 class TestAnalyzeSweep:
     def test_single_kernel_sweep_clean(self, capsys):
         rc = analyze_main(["-k", "mandel", "-k", "blur"])
@@ -124,3 +175,33 @@ class TestAnalyzeSweep:
         assert rc == 0
         out = capsys.readouterr().out
         assert "mandel/omp_tiled: ok" in out
+
+    def test_unknown_kernel_is_usage_error(self, capsys):
+        rc = analyze_main(["-k", "no_such_kernel"])
+        assert rc == 2
+        assert "no_such_kernel" in capsys.readouterr().err
+
+    def test_expected_verdicts_flip_polarity(self, capsys):
+        rc = analyze_main(["--load", BUGGY_BLUR, "-k", "blur_buggy"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 seeded bug(s) confirmed" in out
+
+    def test_missing_detection_fails_sweep(self, capsys, monkeypatch):
+        # if the detector went blind, the annotated variant must FAIL
+        # the sweep instead of silently passing
+        import repro.analyze.__main__ as sweep_mod
+
+        real = sweep_mod.lint_variant
+
+        def blind(kname, vname, **kwargs):
+            result = real(kname, vname, **kwargs)
+            if (kname, vname) == ("blur_buggy", "omp_tiled"):
+                result.findings = [f for f in result.findings
+                                   if f.level != "error"]
+            return result
+
+        monkeypatch.setattr(sweep_mod, "lint_variant", blind)
+        rc = analyze_main(["--load", BUGGY_BLUR, "-k", "blur_buggy"])
+        assert rc == 1
+        assert "found none" in capsys.readouterr().out

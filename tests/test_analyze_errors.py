@@ -1,0 +1,99 @@
+"""Error-path coverage for the analysis CLIs: every malformed-input
+branch of the trace loader must surface as a clean diagnostic + nonzero
+exit, never a traceback."""
+
+import json
+
+import pytest
+
+from repro.easyview_cli import main as easyview_main
+from repro.errors import TraceError
+from repro.trace.format import load_trace
+
+HEADER = {
+    "easypap_trace": 1,
+    "meta": {
+        "kernel": "mandel", "variant": "omp_tiled", "dim": 32,
+        "tile_w": 8, "tile_h": 8, "ncpus": 4, "schedule": "static",
+        "iterations": 1, "label": "cur", "machine": "virtual", "extra": {},
+    },
+    "nevents": 1,
+}
+EVENT = {
+    "iteration": 1, "cpu": 0, "start": 0.0, "end": 1e-6,
+    "x": 0, "y": 0, "w": 8, "h": 8, "kind": "tile", "extra": {},
+}
+
+
+def _write(path, *lines):
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return str(path)
+
+
+class TestTraceLoaderErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="trace file not found"):
+            load_trace(tmp_path / "nope.evt")
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.evt"
+        p.write_text("", encoding="utf-8")
+        with pytest.raises(TraceError, match="empty trace file"):
+            load_trace(p)
+
+    def test_bad_header_json(self, tmp_path):
+        p = tmp_path / "bad.evt"
+        _write(p, "this is not json")
+        with pytest.raises(TraceError, match="bad trace header"):
+            load_trace(p)
+
+    def test_unsupported_version(self, tmp_path):
+        p = tmp_path / "vfuture.evt"
+        header = dict(HEADER, easypap_trace=99)
+        _write(p, json.dumps(header), json.dumps(EVENT))
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            load_trace(p)
+
+    def test_bad_event_line_reports_lineno(self, tmp_path):
+        p = tmp_path / "badevent.evt"
+        _write(p, json.dumps(HEADER), "{broken json")
+        with pytest.raises(TraceError, match=r"bad trace event at .*:2"):
+            load_trace(p)
+
+    def test_truncated_event_stream(self, tmp_path):
+        p = tmp_path / "trunc.evt"
+        header = dict(HEADER, nevents=5)
+        _write(p, json.dumps(header), json.dumps(EVENT))
+        with pytest.raises(TraceError, match="truncated trace"):
+            load_trace(p)
+
+
+class TestEasyviewErrorPaths:
+    def test_missing_trace_file(self, tmp_path, capsys):
+        rc = easyview_main([str(tmp_path / "nope.evt")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("easyview:")
+        assert "trace file not found" in err
+
+    def test_malformed_trace_file(self, tmp_path, capsys):
+        p = tmp_path / "garbage.evt"
+        p.write_text("not a trace\n", encoding="utf-8")
+        rc = easyview_main([str(p)])
+        assert rc == 1
+        assert "bad trace header" in capsys.readouterr().err
+
+    def test_races_on_footprint_free_trace(self, tmp_path, capsys):
+        p = tmp_path / "nofp.evt"
+        _write(p, json.dumps(HEADER), json.dumps(EVENT))
+        rc = easyview_main([str(p), "--races"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no footprints" in out
+
+    def test_load_missing_module_is_usage_error(self, tmp_path, capsys):
+        p = tmp_path / "t.evt"
+        _write(p, json.dumps(HEADER), json.dumps(EVENT))
+        rc = easyview_main([str(p), "--load", str(tmp_path / "nope.py")])
+        assert rc == 2
+        assert "easyview:" in capsys.readouterr().err
