@@ -319,6 +319,8 @@ def lint_variant(
         arg=arg,
         seed=seed,
         mpi_np=mpi_np,
+        # the analysis needs determinism, not wall-clock honesty
+        mpi_backend="inproc",
         debug="M" if mpi_np else "",
         trace=True,
         footprints=True,

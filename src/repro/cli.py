@@ -26,7 +26,7 @@ import sys
 from contextlib import redirect_stderr, redirect_stdout
 from pathlib import Path
 
-from repro.core.config import BACKENDS, RunConfig
+from repro.core.config import BACKENDS, MPI_BACKENDS, RunConfig
 from repro.core.engine import run
 from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
 from repro.errors import ConfigError, EasypapError
@@ -110,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-t", "--trace", action="store_true", help="record an execution trace (.evt)")
     p.add_argument("--trace-file", default=None, help="trace output path")
     p.add_argument("--mpirun", default=None, metavar="ARGS", help='e.g. "-np 2"')
+    p.add_argument("--mpi-backend", choices=MPI_BACKENDS, default="procs",
+                   help="MPI rank substrate: procs = real processes over "
+                   "shared-memory lanes (GIL-free, wall-clock honest); "
+                   "inproc = threads in one interpreter (deterministic)")
     p.add_argument("-d", "--debug", default="", help="debug flag letters (M: monitor all ranks)")
     p.add_argument("--nb-threads", type=int, default=None, help="overrides OMP_NUM_THREADS")
     p.add_argument("--schedule", default=None, help="overrides OMP_SCHEDULE")
@@ -195,6 +199,7 @@ def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunCo
         arg=args.arg,
         seed=args.seed,
         mpi_np=mpi_np,
+        mpi_backend=getattr(args, "mpi_backend", "procs"),
         debug=args.debug,
         time_scale=args.time_scale,
         jitter=args.jitter,

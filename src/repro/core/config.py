@@ -16,7 +16,7 @@ from repro.errors import ConfigError
 from repro.omp.icv import DEFAULT_NUM_THREADS
 from repro.sched.policies import SchedulePolicy, parse_schedule
 
-__all__ = ["RunConfig", "BACKENDS", "DEFAULT_DIM", "DEFAULT_TILE"]
+__all__ = ["RunConfig", "BACKENDS", "MPI_BACKENDS", "DEFAULT_DIM", "DEFAULT_TILE"]
 
 DEFAULT_DIM = 256
 DEFAULT_TILE = 32
@@ -28,6 +28,13 @@ DEFAULT_TILE = 32
 #: true parallelism for pure-Python tile bodies).  This single tuple
 #: drives both validation and the ``--backend`` CLI choices.
 BACKENDS = ("sim", "threads", "procs")
+
+#: the MPI rank substrates: ``procs`` runs each rank as a real process
+#: from the persistent forkserver/spawn pool, communicating over
+#: shared-memory lanes (GIL-free, wall-clock honest); ``inproc`` runs
+#: ranks as threads of one interpreter (deterministic, cheap — the
+#: substrate the test suite pins itself to).
+MPI_BACKENDS = ("procs", "inproc")
 
 
 @dataclass
@@ -51,6 +58,7 @@ class RunConfig:
     arg: str | None = None  # kernel-specific parameter (EASYPAP --arg)
     seed: int | None = None
     mpi_np: int = 0  # 0 = no MPI; N = --mpirun "-np N"
+    mpi_backend: str = "procs"  # one of MPI_BACKENDS: procs / inproc
     debug: str = ""  # EASYPAP-style debug flag letters (e.g. "M")
     time_scale: float = 1.0  # cost-model scaling (tests use tiny scales)
     jitter: float = 0.0  # relative sigma of simulated system noise
@@ -85,6 +93,11 @@ class RunConfig:
             raise ConfigError(f"-np must be >= 0, got {self.mpi_np}")
         if self.backend == "procs" and self.mpi_np:
             raise ConfigError("backend 'procs' cannot be combined with --mpirun")
+        if self.mpi_backend not in MPI_BACKENDS:
+            raise ConfigError(
+                f"unknown mpi backend {self.mpi_backend!r} "
+                f"(valid: {', '.join(MPI_BACKENDS)})"
+            )
         if self.jitter < 0:
             raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
         if self.run_index < 0:

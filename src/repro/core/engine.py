@@ -74,7 +74,10 @@ def run(
 
     ``frame_hook(ctx, iteration)`` is invoked at each iteration boundary
     (the replacement for SDL frame refresh: dump images, animate, ...).
-    MPI configurations (``mpi_np > 0``) are dispatched to the launcher.
+    MPI configurations (``mpi_np > 0``) are dispatched to the launcher,
+    which picks the rank substrate from ``config.mpi_backend``: real
+    processes over shared-memory lanes (``procs``, the default) or
+    threads in this interpreter (``inproc``).
     """
     if config.mpi_np > 0:
         from repro.mpi.launcher import mpi_run

@@ -260,7 +260,15 @@ class LifeKernel(Kernel):
                 "life/mpi_omp requires rank bands aligned to tile rows "
                 f"(dim={ctx.dim}, np={mpi.size}, tile_h={ctx.grid.tile_h})"
             )
-        full = make_dataset(ctx.arg or "diag", ctx.dim, ctx.config.seed)
+        # root-only dataset construction: rank 0 builds the grid once and
+        # shares it as a zero-copy window (shared memory under the procs
+        # substrate, a read-only view inproc); every rank then carves out
+        # just its band instead of redundantly materializing the world
+        full = mpi.comm.shared_window(
+            make_dataset(ctx.arg or "diag", ctx.dim, ctx.config.seed)
+            if mpi.rank == 0 else None,
+            root=0,
+        )
         # local band with one ghost row above and below
         local = np.zeros((h + 2, ctx.dim), dtype=np.uint8)
         local[1 : h + 1] = full[y0 : y0 + h]

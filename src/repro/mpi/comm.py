@@ -1,11 +1,18 @@
-"""In-process message-passing substrate (the MPI stand-in).
+"""Message-passing API and the in-process (threaded) substrate.
 
-Each rank runs in its own Python thread; messages are pickled (so ranks
-never share mutable state, exactly like real MPI address spaces) and
-delivered through per-rank mailboxes with MPI-style (source, tag)
-matching.  The API mirrors mpi4py's lowercase object interface:
-``send/recv/sendrecv/bcast/scatter/gather/allgather/reduce/allreduce/
-barrier``.
+The mpi4py-style lowercase interface — ``send/recv/sendrecv/bcast/
+scatter/gather/allgather/reduce/allreduce/barrier`` — is implemented
+once, in :class:`CommBase`, over three transport primitives
+(``_put/_get/_try_get`` on pickled payloads).  Two substrates plug in:
+
+* **inproc** (this module): each rank is a Python thread; messages are
+  pickled (ranks never share mutable state, exactly like real MPI
+  address spaces) and delivered through per-rank mailboxes with
+  MPI-style (source, tag) matching.  Deterministic and cheap — what
+  the test suite pins itself to.
+* **procs** (:mod:`repro.mpi.substrate`): each rank is a real process
+  from the persistent worker pool; messages travel over shared-memory
+  byte lanes, so CPU-bound ranks genuinely run in parallel.
 
 Collectives are built over point-to-point with an internal tag space
 (high bit set + a per-communicator collective sequence number), so they
@@ -14,11 +21,15 @@ collectives with pt2pt traffic.
 
 Per-rank traffic statistics (message and byte counts) are kept so
 kernels' communication volume can be analyzed — our substitute for
-watching real interconnect behaviour.
+watching real interconnect behaviour.  The blocked-recv backstop is
+``REPRO_MPI_RECV_TIMEOUT`` seconds (default 60); expiry raises
+:class:`~repro.errors.DeadlockError` carrying the pending (source, tag)
+mailbox state.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 import time
@@ -27,14 +38,42 @@ from typing import Any, Callable
 
 from repro.errors import DeadlockError, MpiError
 
-__all__ = ["MpiWorld", "Comm", "Request", "ANY_SOURCE", "ANY_TAG", "run_world"]
+__all__ = [
+    "MpiWorld",
+    "CommBase",
+    "Comm",
+    "CommStats",
+    "Request",
+    "RecvTimeout",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RECV_TIMEOUT_ENV",
+    "default_recv_timeout",
+    "run_world",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
 
 _COLL_BIT = 1 << 30  # internal tags: _COLL_BIT | (seq << 4) | coll_id
-_RECV_TIMEOUT = 60.0  # seconds; hard backstop for a blocked recv
 _POLL_INTERVAL = 0.05  # seconds between deadlock-analysis polls
+
+#: env override for the blocked-recv hard backstop (seconds)
+RECV_TIMEOUT_ENV = "REPRO_MPI_RECV_TIMEOUT"
+_RECV_TIMEOUT = 60.0
+
+
+def default_recv_timeout() -> float:
+    """The recv backstop: ``REPRO_MPI_RECV_TIMEOUT`` or 60 seconds."""
+    env = os.environ.get(RECV_TIMEOUT_ENV)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise MpiError(f"{RECV_TIMEOUT_ENV}={env!r} is not a number") from None
+        if value > 0:
+            return value
+    return _RECV_TIMEOUT
 
 
 @dataclass
@@ -47,6 +86,34 @@ class CommStats:
     collectives: int = 0
 
 
+@dataclass(frozen=True)
+class RecvTimeout:
+    """Structured diagnosis for a recv that hit the wall-clock backstop
+    without the wait-for-graph analysis producing a verdict; carries the
+    pending (source, tag) mailbox state at expiry."""
+
+    rank: int
+    source: int
+    tag: int
+    timeout: float
+    pending: tuple[tuple[int, int], ...] = ()
+
+    def describe(self) -> str:
+        def fmt(v: int) -> str:
+            return "any" if v == ANY_SOURCE else str(v)
+
+        inbox = (
+            ", ".join(f"(source={s}, tag={t})" for s, t in self.pending)
+            if self.pending
+            else "empty"
+        )
+        return (
+            f"rank {self.rank}: recv(source={fmt(self.source)}, "
+            f"tag={fmt(self.tag)}) timed out after {self.timeout:g}s — "
+            f"unresolved deadlock? pending mailbox: {inbox}"
+        )
+
+
 class _Mailbox:
     """Pending messages of one rank, with (source, tag) matching."""
 
@@ -55,7 +122,7 @@ class _Mailbox:
         self._cond = threading.Condition(self._lock)
         self._pending: list[tuple[int, int, bytes]] = []
 
-    def put(self, source: int, tag: int, payload: bytes) -> None:
+    def put(self, source: int, tag: int, payload: Any) -> None:
         with self._lock:
             self._pending.append((source, tag, payload))
             self._cond.notify_all()
@@ -100,10 +167,13 @@ class _Mailbox:
                         return self._pending.pop(i)
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise MpiError(
-                            f"recv(source={source}, tag={tag}) timed out "
-                            f"after {timeout}s — deadlock?"
-                        )
+                        raise DeadlockError(RecvTimeout(
+                            rank=-1 if rank is None else rank,
+                            source=source,
+                            tag=tag,
+                            timeout=timeout,
+                            pending=tuple((s, t) for s, t, _ in self._pending),
+                        ))
                     wait = remaining if poll is None else min(poll, remaining)
                     if not self._cond.wait(timeout=wait) and world is not None:
                         report = world._diagnose(rank, source, tag, self)
@@ -128,7 +198,7 @@ class Request:
     :meth:`test` or :meth:`wait`.
     """
 
-    def __init__(self, comm: "Comm | None" = None, source: int = ANY_SOURCE,
+    def __init__(self, comm: "CommBase | None" = None, source: int = ANY_SOURCE,
                  tag: int = ANY_TAG, payload: Any = None, done: bool = False):
         self._comm = comm
         self._source = source
@@ -140,12 +210,10 @@ class Request:
         """Non-blocking completion check: (done, payload_or_None)."""
         if self._done:
             return True, self._payload
-        got = self._comm.world.mailboxes[self._comm.rank].try_get(
-            self._source, self._tag
-        )
+        got = self._comm._try_get(self._source, self._tag)
         if got is None:
             return False, None
-        self._comm.world.stats[self._comm.rank].messages_received += 1
+        self._comm._count_recv()
         self._payload = pickle.loads(got[2])
         self._done = True
         return True, self._payload
@@ -156,14 +224,14 @@ class Request:
         if self._done:
             return self._payload
         _, _, payload = self._comm._get(self._source, self._tag)
-        self._comm.world.stats[self._comm.rank].messages_received += 1
+        self._comm._count_recv()
         self._payload = pickle.loads(payload)
         self._done = True
         return self._payload
 
 
 class MpiWorld:
-    """A set of ranks with their mailboxes.
+    """A set of in-process ranks with their mailboxes.
 
     Beyond delivery, the world tracks which ranks are blocked in a
     receive (``rank -> (source, tag)``) and which have terminated, so a
@@ -174,13 +242,15 @@ class MpiWorld:
     def __init__(
         self,
         size: int,
-        recv_timeout: float = _RECV_TIMEOUT,
+        recv_timeout: float | None = None,
         poll_interval: float = _POLL_INTERVAL,
     ):
         if size < 1:
             raise MpiError(f"world size must be >= 1, got {size}")
         self.size = size
-        self.recv_timeout = recv_timeout
+        self.recv_timeout = (
+            default_recv_timeout() if recv_timeout is None else recv_timeout
+        )
         self.poll_interval = poll_interval
         self.mailboxes = [_Mailbox() for _ in range(size)]
         self.stats = [CommStats() for _ in range(size)]
@@ -248,43 +318,66 @@ class MpiWorld:
         return diagnose(rank, waits, finished, self.size, unmatched)
 
 
-class Comm:
-    """One rank's view of the world (mpi4py-style lowercase interface)."""
+class CommBase:
+    """The mpi4py-style lowercase interface, substrate-agnostic.
 
-    def __init__(self, world: MpiWorld, rank: int):
-        self.world = world
-        self.rank = rank
-        self.size = world.size
-        self._coll_seq = 0
+    Subclasses provide the transport: ``_put(dest, tag, payload)`` (raw
+    buffered enqueue, never counted in stats), ``_get(source, tag)``
+    (blocking matched receive, deadlock analysis armed) and
+    ``_try_get`` (non-blocking probe+pop); plus a ``stats`` property.
+    Everything else — pt2pt bookkeeping, the collectives and their
+    internal tag space, traffic accounting — is shared, so the two
+    substrates cannot drift apart semantically.
+    """
+
+    rank: int
+    size: int
+
+    # -- transport primitives (substrate-specific) ---------------------------
+    def _put(self, dest: int, tag: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def _get(self, source: int, tag: int) -> tuple[int, int, bytes]:
+        raise NotImplementedError
+
+    def _try_get(self, source: int, tag: int) -> tuple[int, int, bytes] | None:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> CommStats:
+        raise NotImplementedError
+
+    # -- traffic accounting (hooks for substrate telemetry) ------------------
+    def _count_sent(self, nbytes: int) -> None:
+        st = self.stats
+        st.messages_sent += 1
+        st.bytes_sent += nbytes
+
+    def _count_recv(self) -> None:
+        self.stats.messages_received += 1
+
+    def _count_collective(self) -> None:
+        self.stats.collectives += 1
 
     # -- point-to-point ------------------------------------------------------
     def _check_peer(self, peer: int, what: str) -> None:
         if not (0 <= peer < self.size):
             raise MpiError(f"{what} rank {peer} out of world of size {self.size}")
 
-    def _get(self, source: int, tag: int) -> tuple[int, int, bytes]:
-        """Blocking matched receive from this rank's mailbox, with the
-        deadlock analysis armed."""
-        return self.world.mailboxes[self.rank].get(
-            source, tag, self.world.recv_timeout, world=self.world, rank=self.rank
-        )
-
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered send (never blocks): the message is pickled and
+        """Buffered send (never deadlocks): the message is pickled and
         enqueued at the destination."""
         self._check_peer(dest, "destination")
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        st = self.world.stats[self.rank]
-        st.messages_sent += 1
-        st.bytes_sent += len(payload)
-        self.world.mailboxes[dest].put(self.rank, tag, payload)
+        self._count_sent(len(payload))
+        self._put(dest, tag, payload)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive with (source, tag) matching."""
         if source != ANY_SOURCE:
             self._check_peer(source, "source")
         _, _, payload = self._get(source, tag)
-        self.world.stats[self.rank].messages_received += 1
+        self._count_recv()
         return pickle.loads(payload)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -315,7 +408,7 @@ class Comm:
     def _coll_tag(self, coll_id: int) -> int:
         tag = _COLL_BIT | (self._coll_seq << 4) | coll_id
         self._coll_seq += 1
-        self.world.stats[self.rank].collectives += 1
+        self._count_collective()
         return tag
 
     def barrier(self) -> None:
@@ -325,9 +418,9 @@ class Comm:
             for src in range(1, self.size):
                 self._get(src, tag)
             for dst in range(1, self.size):
-                self.world.mailboxes[dst].put(0, tag, b"")
+                self._put(dst, tag, b"")
         else:
-            self.world.mailboxes[0].put(self.rank, tag, b"")
+            self._put(0, tag, b"")
             self._get(0, tag)
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
@@ -337,13 +430,11 @@ class Comm:
             for dst in range(self.size):
                 if dst != root:
                     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-                    st = self.world.stats[self.rank]
-                    st.messages_sent += 1
-                    st.bytes_sent += len(payload)
-                    self.world.mailboxes[dst].put(root, tag, payload)
+                    self._count_sent(len(payload))
+                    self._put(dst, tag, payload)
             return obj
         _, _, payload = self._get(root, tag)
-        self.world.stats[self.rank].messages_received += 1
+        self._count_recv()
         return pickle.loads(payload)
 
     def scatter(self, objs: list | None, root: int = 0) -> Any:
@@ -359,13 +450,11 @@ class Comm:
             for dst in range(self.size):
                 if dst != root:
                     payload = pickle.dumps(objs[dst], protocol=pickle.HIGHEST_PROTOCOL)
-                    st = self.world.stats[self.rank]
-                    st.messages_sent += 1
-                    st.bytes_sent += len(payload)
-                    self.world.mailboxes[dst].put(root, tag, payload)
+                    self._count_sent(len(payload))
+                    self._put(dst, tag, payload)
             return mine
         _, _, payload = self._get(root, tag)
-        self.world.stats[self.rank].messages_received += 1
+        self._count_recv()
         return pickle.loads(payload)
 
     def gather(self, obj: Any, root: int = 0) -> list | None:
@@ -377,14 +466,12 @@ class Comm:
             for src in range(self.size):
                 if src != root:
                     _, _, payload = self._get(src, tag)
-                    self.world.stats[self.rank].messages_received += 1
+                    self._count_recv()
                     out[src] = pickle.loads(payload)
             return out
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        st = self.world.stats[self.rank]
-        st.messages_sent += 1
-        st.bytes_sent += len(payload)
-        self.world.mailboxes[root].put(self.rank, tag, payload)
+        self._count_sent(len(payload))
+        self._put(root, tag, payload)
         return None
 
     def allgather(self, obj: Any) -> list:
@@ -404,19 +491,75 @@ class Comm:
         acc = self.reduce(obj, op, root=0)
         return self.bcast(acc, root=0)
 
+    # -- shared windows -------------------------------------------------------
+    def shared_window(self, arr, root: int = 0):
+        """Node-local zero-copy array broadcast (pyuvsim-style).
+
+        The root rank contributes ``arr``; every rank gets back a view
+        of *one* shared buffer — writable at the root, read-only
+        everywhere else — instead of ``size`` pickled copies.  Counted
+        as one collective; no per-rank message bytes (that is the whole
+        point).  Substrate-specific: shared memory under ``procs``, a
+        direct read-only view under ``inproc``.
+        """
+        raise NotImplementedError
+
+
+class Comm(CommBase):
+    """One rank's view of the threaded world."""
+
+    def __init__(self, world: MpiWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._coll_seq = 0
+
+    # -- transport over the world's mailboxes --------------------------------
+    def _put(self, dest: int, tag: int, payload: Any) -> None:
+        self.world.mailboxes[dest].put(self.rank, tag, payload)
+
+    def _get(self, source: int, tag: int) -> tuple[int, int, bytes]:
+        """Blocking matched receive from this rank's mailbox, with the
+        deadlock analysis armed."""
+        return self.world.mailboxes[self.rank].get(
+            source, tag, self.world.recv_timeout, world=self.world, rank=self.rank
+        )
+
+    def _try_get(self, source: int, tag: int) -> tuple[int, int, bytes] | None:
+        return self.world.mailboxes[self.rank].try_get(source, tag)
+
     @property
     def stats(self) -> CommStats:
         return self.world.stats[self.rank]
+
+    def shared_window(self, arr, root: int = 0):
+        """Inproc windows share the interpreter: the root's array is
+        handed to every rank directly (no pickling), read-only views
+        for non-roots — the same contract the procs substrate honours
+        through POSIX shared memory."""
+        self._check_peer(root, "root")
+        tag = self._coll_tag(7)
+        if self.rank == root:
+            if arr is None:
+                raise MpiError("shared_window root must contribute an array")
+            for dst in range(self.size):
+                if dst != root:
+                    self._put(dst, tag, arr)  # by reference: zero-copy
+            return arr
+        _, _, shared = self._get(source=root, tag=tag)
+        view = shared.view()
+        view.setflags(write=False)
+        return view
 
 
 def run_world(
     size: int,
     fn: Callable[[Comm, int], Any],
     *,
-    recv_timeout: float = _RECV_TIMEOUT,
+    recv_timeout: float | None = None,
 ) -> list[Any]:
-    """Run ``fn(comm, rank)`` on every rank of a fresh world; returns the
-    per-rank results in rank order.
+    """Run ``fn(comm, rank)`` on every rank of a fresh threaded world;
+    returns the per-rank results in rank order.
 
     Any rank raising makes :func:`run_world` raise :class:`MpiError`
     carrying all per-rank failures (after every thread has stopped).

@@ -35,6 +35,8 @@ def bands(size: int, dim: int) -> list[tuple[int, int]]:
 
 def grid_shape(size: int) -> tuple[int, int]:
     """Most-square (rows, cols) process grid with ``rows * cols == size``."""
+    if size < 1:
+        raise MpiError(f"world size must be >= 1, got {size}")
     best = (size, 1)
     r = 1
     while r * r <= size:
@@ -46,6 +48,8 @@ def grid_shape(size: int) -> tuple[int, int]:
 
 def block_of(rank: int, size: int, dim: int) -> tuple[int, int, int, int]:
     """2D block of ``rank``: returns ``(y0, x0, height, width)``."""
+    if size < 1 or not (0 <= rank < size):
+        raise MpiError(f"bad rank/size: {rank}/{size}")
     rows, cols = grid_shape(size)
     pr, pc = divmod(rank, cols)
     y0, h = band_of(pr, rows, dim)

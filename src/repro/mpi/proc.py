@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.mpi.comm import Comm
+from repro.mpi.comm import CommBase, CommStats
 
-__all__ = ["MpiProcessContext"]
+__all__ = ["MpiProcessContext", "RankContextSnapshot", "StatsOnlyComm"]
 
 
 @dataclass
@@ -16,8 +16,31 @@ class MpiProcessContext:
 
     rank: int
     size: int
-    comm: Comm
+    comm: CommBase
 
     @property
     def is_master(self) -> bool:
         return self.rank == 0
+
+
+@dataclass
+class StatsOnlyComm:
+    """Picklable stand-in for a remote rank's communicator: carries the
+    final traffic statistics, no transport (the lanes died with the
+    world epoch)."""
+
+    stats: CommStats
+
+
+@dataclass
+class RankContextSnapshot:
+    """Picklable stand-in for a remote rank's ExecutionContext.
+
+    Process-substrate ranks cannot ship their real context across the
+    result pipe (locks, shared-memory views, open consumers); this
+    snapshot preserves what callers inspect after the run: the kernel's
+    ``ctx.data`` dictionary and ``ctx.mpi`` with the comm statistics.
+    """
+
+    data: dict = field(default_factory=dict)
+    mpi: MpiProcessContext | None = None

@@ -1,0 +1,791 @@
+"""The real-process MPI substrate: ranks from a persistent worker pool.
+
+Each rank is a process spawned once (forkserver/spawn, the PR-4 pool
+machinery) and reused across worlds; point-to-point traffic and the
+collectives built on it travel over per-(src, dst) single-producer/
+single-consumer **byte lanes** in one POSIX shared-memory block — the
+same monotonic write-count discipline as the telemetry rings of
+:mod:`repro.telemetry.ring`, but lossless: a sender whose lane is full
+chunks its frame and, while waiting for space, drains its own inbound
+lanes (preserving the buffered-send guarantee that ``sendrecv`` pairs
+never deadlock).
+
+A shared **control block** carries the world's abort word plus a
+per-rank registry (state, awaited source/tag, drain progress) — the
+cross-process replica of the threaded world's blocked registry, so the
+wait-for-graph deadlock analysis of :mod:`repro.analyze.deadlock` keeps
+working: a blocked rank snapshots the registry, proves peers quiescent
+through lane-count equality under a progress seqlock, and raises
+:class:`~repro.errors.DeadlockError` with the same reports the inproc
+substrate produces.
+
+Failure is loud and bounded, pyuvsim-style: a rank raising (or dying
+outright — SIGKILL included) flips the abort word; every blocked peer
+notices within a poll interval and unwinds, the master reaps the world
+and raises a clean :class:`~repro.errors.ExecutionError` instead of
+letting the survivors sit out the 60 s recv backstop.  Message counts
+and byte volumes stream over per-rank telemetry ring lanes
+(``KIND_COUNTER`` records) that the master drains into its bus exactly
+like procs tile events.
+
+``shared_window()`` gives kernels the pyuvsim ``shared_mem_bcast``
+pattern: the root allocates one shared block, peers attach read-only
+views, and the name is unlinked as soon as everyone is attached so an
+aborted world cannot leak ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import sys
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import DeadlockError, ExecutionError, MpiError
+from repro.mpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommBase,
+    CommStats,
+    RecvTimeout,
+    default_recv_timeout,
+)
+from repro.omp.procs import (
+    _alloc_block,
+    _defuse,
+    _mp_context,
+    _no_main_reimport,
+    _unlink_block,
+    _untrack,
+    register_cleanup,
+)
+from repro.telemetry.ring import KIND_COUNTER, RECORD_WIDTH, RingWriter, drain_lane
+
+__all__ = [
+    "ProcComm",
+    "MpiPool",
+    "run_world_procs",
+    "get_mpi_pool",
+    "shutdown_mpi_pools",
+    "live_mpi_blocks",
+    "MPI_COUNTERS",
+    "LANE_CAP_ENV",
+]
+
+#: env override for the per-(src,dst) lane capacity in bytes
+LANE_CAP_ENV = "REPRO_MPI_LANE_CAP"
+_DEFAULT_LANE_CAP = 1 << 20
+
+#: comm-volume counters streamed over the ring (f0 = index here)
+MPI_COUNTERS = ("mpi_msgs_sent", "mpi_bytes_sent", "mpi_msgs_recv", "mpi_collectives")
+
+#: per-rank telemetry ring slots (records); enough for thousands of
+#: messages between master drains, and drops are reconciled at the end
+_RING_CAP = 4096
+
+_FRAME = struct.Struct("<qq")  # (tag, payload_length) framing header
+
+_SPIN = 0.0002  # lane-wait granularity (seconds)
+_DIAG_INTERVAL = 0.05  # seconds between deadlock-analysis attempts
+
+# control-block words
+_ABORT = 0  # 1 => world is aborting
+_ABORT_RANK = 1  # who flipped the abort word
+_CTRL_HEAD = 2
+# per-rank registry words, at _CTRL_HEAD + rank * _REG_WORDS
+_REG_STATE = 0  # 0 active, 1 blocked, 2 finished
+_REG_SOURCE = 1
+_REG_TAG = 2
+_REG_PROGRESS = 3  # seqlock: odd while a drain is rewriting lane cursors
+_REG_WORDS = 4
+
+_ACTIVE, _BLOCKED, _FINISHED = 0, 1, 2
+
+
+def lane_capacity() -> int:
+    env = os.environ.get(LANE_CAP_ENV)
+    if env:
+        return max(64, int(env))
+    return _DEFAULT_LANE_CAP
+
+
+class _WorldAborted(MpiError):
+    """Raised inside a rank when the world's abort word flips."""
+
+
+class ProcComm(CommBase):
+    """One process-rank's communicator over the shared lanes."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        ctrl: np.ndarray,
+        lane_hdr: np.ndarray,
+        lane_buf: np.ndarray,
+        ring: RingWriter | None,
+        recv_timeout: float,
+        window_prefix: str = "",
+    ):
+        self.rank = rank
+        self.size = size
+        self._coll_seq = 0
+        self._ctrl = ctrl
+        self._hdr = lane_hdr  # (size*size, 2) int64: [write_count, read_count]
+        self._buf = lane_buf  # (size*size, cap) uint8 payload rings
+        self._cap = lane_buf.shape[1]
+        self._ring = ring
+        self._recv_timeout = recv_timeout
+        self._window_prefix = window_prefix
+        self._window_seq = 0
+        self._windows: list[shared_memory.SharedMemory] = []
+        self._stats = CommStats()
+        #: frames drained but not yet matched: (source, tag, payload)
+        self._pending: list[tuple[int, int, bytes]] = []
+        #: partially-drained frame bytes, per source rank
+        self._partial = [bytearray() for _ in range(size)]
+
+    # -- registry ------------------------------------------------------------
+    def _reg(self, rank: int) -> int:
+        return _CTRL_HEAD + rank * _REG_WORDS
+
+    def _set_state(self, state: int, source: int = 0, tag: int = 0) -> None:
+        base = self._reg(self.rank)
+        self._ctrl[base + _REG_SOURCE] = source
+        self._ctrl[base + _REG_TAG] = tag
+        self._ctrl[base + _REG_STATE] = state
+
+    def _finish(self) -> None:
+        self._set_state(_FINISHED)
+
+    def _abort_world(self) -> None:
+        self._ctrl[_ABORT_RANK] = self.rank
+        self._ctrl[_ABORT] = 1
+
+    def _check_abort(self) -> None:
+        if self._ctrl[_ABORT]:
+            raise _WorldAborted(
+                f"MPI world aborted (by rank {int(self._ctrl[_ABORT_RANK])})"
+            )
+
+    # -- stats + comm-volume telemetry ---------------------------------------
+    @property
+    def stats(self) -> CommStats:
+        return self._stats
+
+    def _emit(self, counter: int, delta: float) -> None:
+        if self._ring is not None:
+            self._ring.emit(KIND_COUNTER, counter, delta)
+
+    def _count_sent(self, nbytes: int) -> None:
+        super()._count_sent(nbytes)
+        self._emit(0, 1)
+        self._emit(1, nbytes)
+
+    def _count_recv(self) -> None:
+        super()._count_recv()
+        self._emit(2, 1)
+
+    def _count_collective(self) -> None:
+        super()._count_collective()
+        self._emit(3, 1)
+
+    # -- lane transport ------------------------------------------------------
+    def _lane(self, src: int, dst: int) -> int:
+        return src * self.size + dst
+
+    def _put(self, dest: int, tag: int, payload: Any) -> None:
+        """Chunked lossless write into the (rank -> dest) lane.
+
+        When the lane is full the sender spins briefly, draining its own
+        inbound lanes meanwhile — a full lane therefore cannot deadlock
+        two ranks sending to each other, preserving the buffered-send
+        semantics the shared collectives assume.
+        """
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            # the window fast path hands arrays around by reference in
+            # the inproc world; across processes everything is bytes
+            payload = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _FRAME.pack(tag, len(payload)) + bytes(payload)
+        lane = self._lane(self.rank, dest)
+        hdr = self._hdr[lane]
+        buf = self._buf[lane]
+        cap = self._cap
+        view = np.frombuffer(frame, dtype=np.uint8)
+        off = 0
+        deadline = time.monotonic() + self._recv_timeout
+        while off < len(view):
+            write, read = int(hdr[0]), int(hdr[1])
+            space = cap - (write - read)
+            if space <= 0:
+                self._check_abort()
+                self._drain()
+                if time.monotonic() >= deadline:
+                    raise MpiError(
+                        f"rank {self.rank}: send to {dest} stalled for "
+                        f"{self._recv_timeout:g}s (lane full, receiver not "
+                        "draining) — deadlock or dead peer?"
+                    )
+                time.sleep(_SPIN)
+                continue
+            n = min(space, len(view) - off)
+            pos = write % cap
+            first = min(n, cap - pos)
+            buf[pos:pos + first] = view[off:off + first]
+            if n > first:
+                buf[:n - first] = view[off + first:off + n]
+            hdr[0] = write + n  # publish after the payload
+            off += n
+
+    def _drain(self) -> bool:
+        """Move every inbound lane's available bytes into local frames.
+
+        Guarded by the registry's progress seqlock (odd while cursors
+        move) so a remote deadlock diagnoser can tell "nothing arrived
+        since this rank's last failed scan" from "caught mid-drain".
+        Returns True when at least one complete frame was delivered.
+        """
+        base = self._reg(self.rank)
+        delivered = False
+        for src in range(self.size):
+            if src == self.rank:
+                continue
+            lane = self._lane(src, self.rank)
+            hdr = self._hdr[lane]
+            write, read = int(hdr[0]), int(hdr[1])
+            avail = write - read
+            if avail <= 0:
+                continue
+            self._ctrl[base + _REG_PROGRESS] += 1  # odd: drain in flight
+            buf = self._buf[lane]
+            cap = self._cap
+            pos = read % cap
+            first = min(avail, cap - pos)
+            chunk = bytes(buf[pos:pos + first])
+            if avail > first:
+                chunk += bytes(buf[:avail - first])
+            hdr[1] = write  # consume before parsing
+            partial = self._partial[src]
+            partial += chunk
+            while len(partial) >= _FRAME.size:
+                tag, length = _FRAME.unpack_from(partial)
+                if len(partial) < _FRAME.size + length:
+                    break
+                payload = bytes(partial[_FRAME.size:_FRAME.size + length])
+                del partial[:_FRAME.size + length]
+                self._pending.append((src, tag, payload))
+                delivered = True
+            if delivered:
+                # a fresh frame may satisfy the pending recv: unblock
+                # *inside* the seqlock so diagnosers never see a stale
+                # "blocked" paired with already-drained lanes
+                self._ctrl[base + _REG_STATE] = _ACTIVE
+            self._ctrl[base + _REG_PROGRESS] += 1  # even: quiescent again
+        return delivered
+
+    def _match_pop(self, source: int, tag: int) -> tuple[int, int, bytes] | None:
+        for i, (s, t, _) in enumerate(self._pending):
+            if (source == ANY_SOURCE or s == source) and (
+                tag == ANY_TAG or t == tag
+            ):
+                return self._pending.pop(i)
+        return None
+
+    def _try_get(self, source: int, tag: int) -> tuple[int, int, bytes] | None:
+        self._drain()
+        return self._match_pop(source, tag)
+
+    def _get(self, source: int, tag: int) -> tuple[int, int, bytes]:
+        self._drain()
+        got = self._match_pop(source, tag)
+        if got is not None:
+            return got
+        deadline = time.monotonic() + self._recv_timeout
+        # stagger diagnosis polls by rank, like the threaded world
+        next_diag = time.monotonic() + _DIAG_INTERVAL * (1.0 + 0.13 * self.rank)
+        self._set_state(_BLOCKED, source, tag)
+        try:
+            while True:
+                self._check_abort()
+                if self._drain():
+                    got = self._match_pop(source, tag)
+                    if got is not None:
+                        return got
+                    # new frames, but none matched: arm the registry again
+                    self._set_state(_BLOCKED, source, tag)
+                now = time.monotonic()
+                if now >= deadline:
+                    # last-instant arrivals must win over the backstop
+                    if self._drain():
+                        got = self._match_pop(source, tag)
+                        if got is not None:
+                            return got
+                    raise DeadlockError(RecvTimeout(
+                        rank=self.rank, source=source, tag=tag,
+                        timeout=self._recv_timeout,
+                        pending=tuple((s, t) for s, t, _ in self._pending),
+                    ))
+                if now >= next_diag:
+                    report = self._diagnose(source, tag)
+                    if report is not None:
+                        raise DeadlockError(report)
+                    next_diag = now + _DIAG_INTERVAL
+                time.sleep(_SPIN)
+        finally:
+            base = self._reg(self.rank)
+            if self._ctrl[base + _REG_STATE] == _BLOCKED:
+                self._ctrl[base + _REG_STATE] = _ACTIVE
+
+    # -- cross-process wait-for-graph analysis -------------------------------
+    def _peer_stuck(self, peer: int, source: int, tag: int) -> bool:
+        """Is ``peer`` provably blocked with nothing left to scan?
+
+        True only when the peer is flagged blocked, every lane into it
+        is fully drained, and its progress seqlock is even and unchanged
+        around those reads — i.e. its last full scan saw everything ever
+        sent to it and matched nothing.  Any concurrent movement makes
+        this undecidable (False): the caller just retries, exactly like
+        the threaded world's try-lock probe.
+        """
+        base = self._reg(peer)
+        p1 = int(self._ctrl[base + _REG_PROGRESS])
+        if p1 % 2 or self._ctrl[base + _REG_STATE] != _BLOCKED:
+            return False
+        for src in range(self.size):
+            if src == peer:
+                continue
+            hdr = self._hdr[self._lane(src, peer)]
+            if int(hdr[0]) != int(hdr[1]):
+                return False  # undrained traffic: the peer has work to do
+        if int(self._ctrl[base + _REG_PROGRESS]) != p1:
+            return False
+        return self._ctrl[base + _REG_STATE] == _BLOCKED
+
+    def _diagnose(self, source: int, tag: int):
+        from repro.analyze.deadlock import PendingMsg, RankWait, diagnose
+
+        waits = {self.rank: RankWait(self.rank, source, tag)}
+        finished = set()
+        for r in range(self.size):
+            if r == self.rank:
+                continue
+            base = self._reg(r)
+            state = int(self._ctrl[base + _REG_STATE])
+            if state == _FINISHED:
+                finished.add(r)
+            elif state == _BLOCKED:
+                s = int(self._ctrl[base + _REG_SOURCE])
+                t = int(self._ctrl[base + _REG_TAG])
+                if self._peer_stuck(r, s, t):
+                    waits[r] = RankWait(r, s, t)
+        # Soundness: the snapshot above is only trustworthy if *we* have
+        # nothing left to scan.  A frame that landed in one of our lanes
+        # after the last drain (say, from a peer that then finished, or
+        # the send half of a peer now blocked in its recv half) refutes
+        # any verdict — bail out and let the caller drain it first.
+        # Checked *after* the state reads: a peer's payload bytes are
+        # written before its registry flips, so "state seen, lane still
+        # empty" proves nothing was in flight.
+        for src in range(self.size):
+            if src == self.rank:
+                continue
+            hdr = self._hdr[self._lane(src, self.rank)]
+            if int(hdr[0]) != int(hdr[1]):
+                return None
+        unmatched = tuple(PendingMsg(s, t) for s, t, _ in self._pending)
+        return diagnose(self.rank, waits, finished, self.size, unmatched)
+
+    # -- shared windows ------------------------------------------------------
+    def shared_window(self, arr, root: int = 0):
+        """pyuvsim-style ``shared_mem_bcast``: root-only allocation.
+
+        The root copies ``arr`` into a fresh shared block and broadcasts
+        only its (name, shape, dtype); peers attach read-only views.
+        After every peer has acknowledged its attach the root unlinks
+        the name immediately — mappings keep the memory alive for every
+        live view, and a rank dying later cannot leak the segment.
+
+        Stats cost on both substrates: exactly one collective, zero
+        message bytes — sharing memory instead of copying it is the
+        whole point, and the counters say so.
+        """
+        self._check_peer(root, "root")
+        tag = self._coll_tag(7)  # window metadata
+        ack = tag + 1  # attach acknowledgements (coll_id slot 8)
+        if self.rank == root:
+            if arr is None:
+                raise MpiError("shared_window root must contribute an array")
+            arr = np.ascontiguousarray(arr)
+            self._window_seq += 1
+            shm = shared_memory.SharedMemory(
+                name=f"{self._window_prefix}win{self._window_seq}_{self.rank}",
+                create=True, size=max(arr.nbytes, 1),
+            )
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            meta = pickle.dumps((shm.name, arr.shape, arr.dtype.str),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            for dst in range(self.size):
+                if dst != root:
+                    self._put(dst, tag, meta)
+            for src in range(self.size):
+                if src != root:
+                    self._get(src, ack)
+            shm.unlink()  # every peer attached: safe to drop the name
+            self._windows.append(shm)
+            return view
+        _, _, meta = self._get(root, tag)
+        name, shape, dtype = pickle.loads(meta)
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        view.setflags(write=False)
+        self._windows.append(shm)
+        self._put(root, ack, b"")
+        return view
+
+    def _release_windows(self) -> None:
+        """Hand window lifetimes to the numpy views (fd-close defuse)."""
+        for shm in self._windows:
+            _defuse(shm)
+        self._windows.clear()
+
+
+# --------------------------------------------------------------------------
+# Rank worker process
+# --------------------------------------------------------------------------
+
+
+def _rank_serve(rank: int, conn, size: int, ctrl_name: str, lane_name: str,
+                ring_name: str, lane_cap: int, ring_cap: int) -> None:
+    """Rank process: serve one world at a time until shutdown."""
+    ctrl_shm = shared_memory.SharedMemory(name=ctrl_name)
+    lane_shm = shared_memory.SharedMemory(name=lane_name)
+    ring_shm = shared_memory.SharedMemory(name=ring_name)
+    for shm in (ctrl_shm, lane_shm, ring_shm):
+        _untrack(shm)
+    nlanes = size * size
+    ctrl = np.ndarray((_CTRL_HEAD + _REG_WORDS * size + size,), dtype=np.int64,
+                      buffer=ctrl_shm.buf)
+    lane_hdr = np.ndarray((nlanes, 2), dtype=np.int64, buffer=lane_shm.buf)
+    lane_buf = np.ndarray((nlanes, lane_cap), dtype=np.uint8,
+                          buffer=lane_shm.buf, offset=nlanes * 16)
+    ring_counts = ctrl[_CTRL_HEAD + _REG_WORDS * size:]
+    ring_buf = np.ndarray((size, ring_cap, RECORD_WIDTH), dtype=np.float64,
+                          buffer=ring_shm.buf)
+
+    # pyuvsim-style excepthook: anything escaping a thread of this rank
+    # (not just the serve loop) must take the whole world down with it
+    def _excepthook(exc_type, exc, tb):  # pragma: no cover - last resort
+        ctrl[_ABORT_RANK] = rank
+        ctrl[_ABORT] = 1
+        sys.__excepthook__(exc_type, exc, tb)
+
+    sys.excepthook = _excepthook
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, KeyboardInterrupt):  # pragma: no cover
+                return
+            tag = msg[0]
+            if tag == "shutdown":
+                return
+            if tag == "ping":
+                conn.send(("pong", rank, msg[1]))
+                continue
+            # ("world", epoch, fn, recv_timeout, window_prefix)
+            _, epoch, fn, recv_timeout, window_prefix = msg
+            comm = ProcComm(
+                rank, size, ctrl, lane_hdr, lane_buf,
+                RingWriter(ring_counts, ring_buf, rank),
+                recv_timeout, window_prefix=f"{window_prefix}e{epoch}_",
+            )
+            try:
+                result = fn(comm, rank)
+                comm._finish()
+                reply = ("result", rank, epoch, result)
+            except _WorldAborted as exc:
+                comm._finish()
+                reply = ("aborted", rank, epoch, str(exc))
+            except BaseException as exc:
+                comm._abort_world()
+                comm._finish()
+                detail = f"{type(exc).__name__}: {exc}"
+                if not isinstance(exc, MpiError):
+                    detail += "\n" + traceback.format_exc()
+                reply = ("error", rank, epoch, detail)
+            finally:
+                comm._release_windows()
+            try:
+                conn.send(reply)
+            except Exception:  # pragma: no cover - master went away
+                return
+    finally:
+        for shm in (ctrl_shm, lane_shm, ring_shm):
+            _defuse(shm)
+
+
+# --------------------------------------------------------------------------
+# Master side
+# --------------------------------------------------------------------------
+
+
+class MpiPool:
+    """A persistent world of rank processes for one size."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise MpiError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.prefix = f"ezmpi_{os.getpid()}_{os.urandom(3).hex()}_"
+        self.lane_cap = lane_capacity()
+        self.ring_cap = _RING_CAP
+        self._mp = _mp_context()
+        nlanes = size * size
+        ctrl_shm = _alloc_block(
+            self.prefix + "ctrl_", 0,
+            (_CTRL_HEAD + _REG_WORDS * size + size) * 8,
+        )
+        self._ctrl_name = ctrl_shm.name
+        self.ctrl = np.ndarray((_CTRL_HEAD + _REG_WORDS * size + size,),
+                               dtype=np.int64, buffer=ctrl_shm.buf)
+        lane_shm = _alloc_block(
+            self.prefix + "lanes_", 0, nlanes * 16 + nlanes * self.lane_cap
+        )
+        self._lane_name = lane_shm.name
+        self.lane_hdr = np.ndarray((nlanes, 2), dtype=np.int64, buffer=lane_shm.buf)
+        ring_shm = _alloc_block(
+            self.prefix + "ring_", 0,
+            size * self.ring_cap * RECORD_WIDTH * 8,
+        )
+        self._ring_name = ring_shm.name
+        self.ring_buf = np.ndarray((size, self.ring_cap, RECORD_WIDTH),
+                                   dtype=np.float64, buffer=ring_shm.buf)
+        self._ring_consumed = [0] * size
+        self.epoch = 0
+        self.broken = False
+        self.conns = []
+        self.procs = []
+        with _no_main_reimport():
+            for rank in range(size):
+                parent, child = self._mp.Pipe()
+                p = self._mp.Process(
+                    target=_rank_serve,
+                    args=(rank, child, size, self._ctrl_name, self._lane_name,
+                          self._ring_name, self.lane_cap, self.ring_cap),
+                    daemon=True,
+                    name=f"easypap-mpi-{rank}",
+                )
+                p.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(p)
+
+    # -- lifecycle ------------------------------------------------------------
+    def healthy(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self.procs)
+
+    def worker_pids(self) -> list[int]:
+        return [p.pid for p in self.procs]
+
+    def shutdown(self) -> None:
+        self.broken = True
+        for conn in self.conns:
+            try:
+                conn.send(("shutdown",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for p in self.procs:
+            p.join(timeout=max(deadline - time.monotonic(), 0.05))
+        for p in self.procs:
+            if p.is_alive():
+                p.terminate()
+        for p in self.procs:
+            p.join(timeout=1.0)
+            if p.is_alive():  # pragma: no cover
+                p.kill()
+                p.join(timeout=1.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for name in (self._ctrl_name, self._lane_name, self._ring_name):
+            _unlink_block(name)
+
+    def _fail(self, why: str) -> ExecutionError:
+        self.shutdown()
+        _MPI_POOLS.pop(self.size, None)
+        return ExecutionError(why)
+
+    def _drain_stale(self) -> None:
+        for conn in self.conns:
+            try:
+                while conn.poll(0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+
+    # -- telemetry ------------------------------------------------------------
+    def _drain_counters(self, bus) -> None:
+        """Publish drained KIND_COUNTER records on ``bus`` (per-rank
+        producers), mirroring how the procs master drains tile events."""
+        ring_counts = self.ctrl[_CTRL_HEAD + _REG_WORDS * self.size:]
+        for rank in range(self.size):
+            records, self._ring_consumed[rank], dropped = drain_lane(
+                ring_counts, self.ring_buf, rank, self._ring_consumed[rank]
+            )
+            if bus is None:
+                continue
+            for rec in records:
+                if int(rec[0]) == KIND_COUNTER:
+                    idx = int(rec[2])
+                    if 0 <= idx < len(MPI_COUNTERS):
+                        bus.counter(MPI_COUNTERS[idx], rec[3], producer=rank)
+            if dropped:
+                bus.record_dropped(dropped)
+
+    # -- running a world ------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[ProcComm, int], Any],
+        *,
+        recv_timeout: float | None = None,
+        bus=None,
+    ) -> list[Any]:
+        """Dispatch ``fn(comm, rank)`` to every rank; collect in order.
+
+        Liveness is supervised: a rank that dies flips the abort word so
+        its peers unwind promptly, then the pool is torn down and a
+        clean :class:`ExecutionError` raised — bounded, never the recv
+        backstop.  ``bus`` (when given) receives the live comm-volume
+        CounterEvents drained from the rank ring lanes.
+        """
+        timeout = default_recv_timeout() if recv_timeout is None else recv_timeout
+        if not self.healthy():
+            raise self._fail("MPI rank pool is broken")
+        self.epoch += 1
+        epoch = self.epoch
+        # quiescent reset: workers only touch lanes between "world" and
+        # their reply, so zeroing here races with nothing
+        self.ctrl[:] = 0
+        self.lane_hdr[:] = 0
+        self._ring_consumed = [0] * self.size
+        self._drain_stale()
+        try:
+            for conn in self.conns:
+                conn.send(("world", epoch, fn, timeout, self.prefix))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise self._fail(f"MPI rank pool died at dispatch: {exc}") from None
+        pending = set(range(self.size))
+        results: list[Any] = [None] * self.size
+        errors: list[tuple[int, str]] = []
+        aborted: list[int] = []
+        grace_deadline: float | None = None
+        dead_ranks: list[int] = []
+        while pending:
+            self._drain_counters(bus)
+            for rank in sorted(pending):
+                conn = self.conns[rank]
+                try:
+                    if not conn.poll(0.005):
+                        continue
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    continue  # liveness check below handles the dead pipe
+                kind, r, ep = msg[0], msg[1], msg[2]
+                if ep != epoch or kind == "pong":
+                    continue
+                pending.discard(r)
+                if kind == "result":
+                    results[r] = msg[3]
+                elif kind == "aborted":
+                    aborted.append(r)
+                else:  # "error"
+                    errors.append((r, msg[3]))
+            if not pending:
+                break
+            for rank in list(pending):
+                if not self.procs[rank].is_alive():
+                    if rank not in dead_ranks:
+                        dead_ranks.append(rank)
+                        self.ctrl[_ABORT_RANK] = rank
+                        self.ctrl[_ABORT] = 1
+                    pending.discard(rank)
+            if dead_ranks and grace_deadline is None:
+                grace_deadline = time.monotonic() + 10.0
+            if grace_deadline is not None and time.monotonic() > grace_deadline:
+                raise self._fail(
+                    f"MPI rank(s) {dead_ranks} died; peers did not unwind "
+                    "within the abort grace period"
+                )
+        self._drain_counters(bus)
+        if dead_ranks:
+            raise self._fail(
+                f"MPI rank {dead_ranks[0]} died "
+                f"(world of {self.size} aborted, peers unwound cleanly)"
+            )
+        if errors:
+            errors.sort()
+            details = "; ".join(f"rank {r}: {msg.splitlines()[0]}" for r, msg in errors)
+            for r in sorted(aborted):
+                details += f"; rank {r}: aborted by peer"
+            raise MpiError(f"{len(errors)} rank(s) failed: {details}")
+        if aborted:  # pragma: no cover - abort without an error reply
+            raise MpiError(f"MPI world aborted (ranks {sorted(aborted)})")
+        return results
+
+
+_MPI_POOLS: dict[int, MpiPool] = {}
+
+
+def get_mpi_pool(size: int) -> MpiPool:
+    """The persistent rank pool for a world size (respawned if broken)."""
+    register_cleanup(shutdown_mpi_pools)
+    pool = _MPI_POOLS.get(size)
+    if pool is not None and not pool.healthy():
+        pool.shutdown()
+        pool = None
+    if pool is None:
+        pool = MpiPool(size)
+        _MPI_POOLS[size] = pool
+    return pool
+
+
+def shutdown_mpi_pools() -> None:
+    """Stop every rank pool and unlink their shared blocks."""
+    for key in list(_MPI_POOLS):
+        _MPI_POOLS.pop(key).shutdown()
+
+
+def live_mpi_blocks() -> list[str]:
+    """Names of MPI-owned shared blocks still registered (leak tests)."""
+    from repro.omp.procs import _LIVE_BLOCKS
+
+    return [n for n in _LIVE_BLOCKS if n.startswith("ezmpi_")]
+
+
+def run_world_procs(
+    size: int,
+    fn: Callable[[ProcComm, int], Any],
+    *,
+    recv_timeout: float | None = None,
+    bus=None,
+) -> list[Any]:
+    """Run ``fn(comm, rank)`` on every rank of the process world.
+
+    The process-substrate twin of :func:`repro.mpi.comm.run_world`:
+    ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` over one).  Raises :class:`MpiError` when
+    ranks fail, :class:`ExecutionError` when one dies outright.
+    """
+    return get_mpi_pool(size).run(fn, recv_timeout=recv_timeout, bus=bus)

@@ -101,6 +101,7 @@ __all__ = [
     "procs_parallel_reduce",
     "new_session_id",
     "live_arena_blocks",
+    "register_cleanup",
 ]
 
 #: start method for pool workers; forkserver gives clean children that
@@ -142,8 +143,26 @@ def _ensure_exit_finalizer() -> None:
 
 def _cleanup_at_exit() -> None:  # pragma: no cover - exercised via subprocess
     shutdown_pools()
+    for fn in list(_EXTRA_CLEANUPS):
+        try:
+            fn()
+        except Exception:
+            pass
     for name in list(_LIVE_BLOCKS):
         _unlink_block(name)
+
+
+#: exit hooks of sibling subsystems sharing the finalizer (the MPI rank
+#: pool registers its shutdown here, so one Finalize covers everything)
+_EXTRA_CLEANUPS: list = []
+
+
+def register_cleanup(fn) -> None:
+    """Run ``fn`` at interpreter exit, after the procs pools stop but
+    before the live shared-memory blocks are swept."""
+    _ensure_exit_finalizer()
+    if fn not in _EXTRA_CLEANUPS:
+        _EXTRA_CLEANUPS.append(fn)
 
 
 def _alloc_block(prefix: str, seq: int, nbytes: int) -> shared_memory.SharedMemory:

@@ -19,6 +19,7 @@ ordinary arrays.  Record layout (8 float64 lanes)::
     kind EXEC      f0=pos   f1=start  f2=end     (wall-clock, region-relative)
     kind FP_READ   f0=pos   f1=buf_id f2=x f3=y f4=w f5=h
     kind FP_WRITE  f0=pos   f1=buf_id f2=x f3=y f4=w f5=h
+    kind COUNTER   f0=counter_id  f1=delta       (bus CounterEvent deltas)
 
 ``pos`` is the per-region task index; ``buf_id`` indexes a per-worker
 string-interning table shipped back over the worker's result pipe
@@ -36,6 +37,7 @@ __all__ = [
     "KIND_EXEC",
     "KIND_FP_READ",
     "KIND_FP_WRITE",
+    "KIND_COUNTER",
     "RING_CAP_ENV",
     "RING_MAX",
     "ring_capacity",
@@ -47,6 +49,7 @@ RECORD_WIDTH = 8
 KIND_EXEC = 1
 KIND_FP_READ = 2
 KIND_FP_WRITE = 3
+KIND_COUNTER = 4  # e.g. per-rank MPI comm-volume deltas (repro.mpi.substrate)
 
 #: env override for the per-worker ring capacity (records); tests use a
 #: tiny value to force overflow deterministically

@@ -35,6 +35,9 @@ def make_config(**kwargs) -> RunConfig:
         nthreads=4,
         schedule="dynamic",
         seed=42,
+        # the deterministic threaded substrate; process-substrate tests
+        # opt in explicitly (tests/test_mpi_substrate.py)
+        mpi_backend="inproc",
     )
     defaults.update(kwargs)
     return RunConfig(**defaults)

@@ -1,10 +1,18 @@
 """Tests for the message-passing substrate."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.errors import MpiError
-from repro.mpi.comm import ANY_SOURCE, ANY_TAG, MpiWorld, run_world
+from repro.mpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MpiWorld,
+    default_recv_timeout,
+    run_world,
+)
 
 
 def world_run(size, fn, timeout=10.0):
@@ -207,3 +215,34 @@ class TestWorld:
     def test_comm_bad_rank(self):
         with pytest.raises(MpiError):
             MpiWorld(2).comm(2)
+
+
+class TestRecvTimeoutConfig:
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MPI_RECV_TIMEOUT", "7.5")
+        assert default_recv_timeout() == 7.5
+        assert MpiWorld(2).recv_timeout == 7.5
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MPI_RECV_TIMEOUT", "soon")
+        with pytest.raises(MpiError, match="REPRO_MPI_RECV_TIMEOUT"):
+            default_recv_timeout()
+
+    def test_unset_env_gives_60s(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MPI_RECV_TIMEOUT", raising=False)
+        assert default_recv_timeout() == 60.0
+
+    def test_expiry_raises_deadlock_error_with_pending_state(self):
+        def fn(comm, rank):
+            if rank == 0:
+                comm.send("mismatched", dest=1, tag=9)
+                time.sleep(1.0)  # stay active: starve the analyzer
+                return "done"
+            return comm.recv(source=0, tag=5)
+
+        with pytest.raises(MpiError) as ei:
+            run_world(2, fn, recv_timeout=0.2)
+        msg = str(ei.value)
+        assert "timed out" in msg
+        assert "pending mailbox" in msg
+        assert "(source=0, tag=9)" in msg

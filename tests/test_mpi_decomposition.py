@@ -58,3 +58,35 @@ def test_bands_partition(size, dim):
     assert pos == dim
     heights = [h for _, h in bs]
     assert max(heights) - min(heights) <= 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(size=st.integers(1, 12), dim=st.integers(1, 256))
+def test_blocks_partition(size, dim):
+    """Property: the 2D blocks exactly partition the dim x dim domain."""
+    try:
+        blocks = [block_of(r, size, dim) for r in range(size)]
+    except MpiError:
+        return  # undecomposable (dim smaller than the grid) is allowed
+    import numpy as np
+
+    cov = np.zeros((dim, dim), dtype=np.int32)
+    for y0, x0, h, w in blocks:
+        assert h >= 1 and w >= 1
+        assert 0 <= y0 and y0 + h <= dim
+        assert 0 <= x0 and x0 + w <= dim
+        cov[y0 : y0 + h, x0 : x0 + w] += 1
+    assert (cov == 1).all()  # every cell covered by exactly one block
+
+
+def test_degenerate_world_sizes_rejected():
+    with pytest.raises(MpiError):
+        grid_shape(0)
+    with pytest.raises(MpiError):
+        grid_shape(-3)
+    with pytest.raises(MpiError):
+        block_of(0, 0, 16)
+    with pytest.raises(MpiError):
+        block_of(2, 2, 16)  # rank out of range
+    with pytest.raises(MpiError):
+        block_of(-1, 4, 16)

@@ -68,3 +68,39 @@ class TestLauncher:
         # band misaligned with tile rows -> per-rank ConfigError wrapped
         with pytest.raises(MpiError):
             run(self._cfg(mpi_np=3, dim=64))
+
+
+class TestParseMpirunStrict:
+    @pytest.mark.parametrize("spec", ["-np 2 junk", "garbage -np 2",
+                                      "-np 2 3"])
+    def test_trailing_junk_rejected(self, spec):
+        with pytest.raises(ConfigError, match="unparsed|cannot find"):
+            parse_mpirun_args(spec)
+
+    @pytest.mark.parametrize("spec,np_", [("--oversubscribe -np 3", 3),
+                                          ("-np 2 --tag-output", 2)])
+    def test_known_flag_shapes_still_parse(self, spec, np_):
+        assert parse_mpirun_args(spec) == np_
+
+
+class TestMergedResult:
+    def _cfg(self, **kw):
+        base = dict(kernel="life", variant="mpi_omp", dim=64, tile_w=16,
+                    tile_h=16, iterations=4, arg="gun", mpi_np=2)
+        base.update(kw)
+        return make_config(**base)
+
+    def test_wall_time_is_laggard_rank(self):
+        r = run(self._cfg())
+        assert r.wall_time == max(rr.wall_time for rr in r.rank_results)
+
+    def test_default_trace_label_is_mpi_not_none(self):
+        r = run(self._cfg(trace=True, debug="M", trace_label=None))
+        labels = [rr.trace.meta.label for rr in r.rank_results]
+        assert labels == ["mpi.0", "mpi.1"]
+
+    def test_world_comm_counters_on_master(self):
+        r = run(self._cfg())
+        assert r.counters["mpi_msgs_sent_world"] > 0
+        assert r.counters["mpi_bytes_sent_world"] > 0
+        assert r.counters["mpi_collectives_world"] > 0
