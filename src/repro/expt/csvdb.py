@@ -43,7 +43,22 @@ __all__ = [
     "unique_values",
     "column_types",
     "locked",
+    "PROVENANCE_COLUMNS",
+    "strip_provenance",
 ]
+
+#: columns recording *where* a row was produced, not *what* was
+#: measured: the executor that dispatched the point and the worker
+#: process that ran it.  Cross-executor sweeps are row-identical
+#: modulo these columns, and the resume identity excludes them, so
+#: databases written under different executors merge cleanly.
+PROVENANCE_COLUMNS = ("executor", "worker_id")
+
+
+def strip_provenance(row: dict) -> dict:
+    """A copy of ``row`` without the provenance columns (comparisons
+    across executors, deduplication of merged databases)."""
+    return {k: v for k, v in row.items() if k not in PROVENANCE_COLUMNS}
 
 #: spellings float() accepts but that must stay strings: a cell reading
 #: "nan" must not NaN-poison easyplot group keys (NaN != NaN, so every

@@ -1,0 +1,77 @@
+"""Pluggable sweep executors: serial, local-procs, socket.
+
+``exptools.execute`` drives any of these through the same four calls
+(``configure`` / ``submit`` / ``drain`` / ``close``); see
+:mod:`repro.expt.executors.base` for the contract and
+``docs/exptools.md`` for the deployment recipes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.expt.executors.base import (
+    Executor,
+    RunOptions,
+    SweepJob,
+    SweepTimeout,
+    error_row,
+    run_point,
+    worker_identity,
+)
+from repro.expt.executors.localprocs import LocalProcsExecutor, pool_chunksize
+from repro.expt.executors.serial import SerialExecutor
+from repro.expt.executors.socketexec import SocketExecutor, parse_address, run_worker
+
+__all__ = [
+    "Executor",
+    "RunOptions",
+    "SweepJob",
+    "SweepTimeout",
+    "error_row",
+    "run_point",
+    "worker_identity",
+    "SerialExecutor",
+    "LocalProcsExecutor",
+    "pool_chunksize",
+    "SocketExecutor",
+    "run_worker",
+    "parse_address",
+    "EXECUTOR_NAMES",
+    "make_executor",
+]
+
+#: the executor names, in documentation order; drives CLI choices and
+#: ``make_executor`` validation
+EXECUTOR_NAMES = ("serial", "local-procs", "socket")
+
+
+def make_executor(
+    name: str,
+    *,
+    workers: int = 1,
+    bind: str | None = None,
+    lease_timeout: float = 300.0,
+    max_requeues: int = 2,
+    verbose: bool = False,
+) -> Executor:
+    """Build an executor from its CLI name.
+
+    ``workers`` sizes the local-procs pool; ``bind`` ("host:port") is
+    the socket master's listen address (default ``127.0.0.1:0``, an
+    ephemeral port printed when ``verbose``).
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "local-procs":
+        return LocalProcsExecutor(workers)
+    if name == "socket":
+        host, port = parse_address(bind) if bind else ("127.0.0.1", 0)
+        return SocketExecutor(
+            host, port,
+            lease_timeout=lease_timeout,
+            max_requeues=max_requeues,
+            verbose=verbose,
+        )
+    raise ConfigError(
+        f"unknown executor {name!r} (valid: {', '.join(EXECUTOR_NAMES)})"
+    )

@@ -1,0 +1,133 @@
+"""The socket executor's wire protocol: typed, length-prefixed frames.
+
+One frame is a 5-byte header — payload length as a big-endian ``u32``
+plus a 1-byte message type — followed by a pickled payload::
+
+    +----------------+------+------------------------+
+    | length (u32 BE)| type | payload (pickle, length|
+    |                | (u8) | bytes)                 |
+    +----------------+------+------------------------+
+
+The message types mirror the Yoda/Droid rank-0-master pattern: a
+worker pulls with ``REQUEST_JOB``, the master answers ``JOB`` or
+``NO_MORE_JOBS``, the worker pushes ``RESULT`` and idles with
+``HEARTBEAT``.  Every deviation — truncated frame, oversized frame,
+unknown type byte, an unpicklable payload — raises
+:class:`ProtocolError` instead of hanging or guessing, so a confused
+peer fails fast and the master's lease machinery (not the protocol)
+decides what happens to the in-flight job.
+
+Payloads are pickled (configurations are plain dataclasses), which
+assumes the usual cluster trust model: the master and its workers run
+the same code as the same user on hosts they already control — the
+fabric is a fan-out mechanism, not an authentication boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.errors import EasypapError
+
+__all__ = [
+    "ProtocolError",
+    "REQUEST_JOB",
+    "JOB",
+    "RESULT",
+    "NO_MORE_JOBS",
+    "HEARTBEAT",
+    "MESSAGE_NAMES",
+    "MAX_FRAME",
+    "send_message",
+    "recv_message",
+]
+
+#: refuse frames beyond this payload size: a length prefix of garbage
+#: (a peer speaking a different protocol, a corrupted stream) must not
+#: make the receiver allocate gigabytes before noticing
+MAX_FRAME = 16 * 2**20
+
+_HEADER = struct.Struct(">IB")
+
+REQUEST_JOB = 1  # worker -> master: {"worker_id": str}
+JOB = 2          # master -> worker: {"job_id", "config", "rep", "options"}
+RESULT = 3       # worker -> master: {"job_id": int, "row": dict}
+NO_MORE_JOBS = 4  # master -> worker: None (grid resolved; disconnect)
+HEARTBEAT = 5    # worker -> master: None (idle liveness while parked)
+
+MESSAGE_NAMES = {
+    REQUEST_JOB: "REQUEST_JOB",
+    JOB: "JOB",
+    RESULT: "RESULT",
+    NO_MORE_JOBS: "NO_MORE_JOBS",
+    HEARTBEAT: "HEARTBEAT",
+}
+
+
+class ProtocolError(EasypapError):
+    """The peer sent something that is not a valid protocol frame."""
+
+
+def send_message(sock: socket.socket, mtype: int, payload: Any = None) -> None:
+    """Send one typed frame (blocking, whole frame or exception)."""
+    if mtype not in MESSAGE_NAMES:
+        raise ProtocolError(f"refusing to send unknown message type {mtype}")
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"{MESSAGE_NAMES[mtype]} payload of {len(body)} bytes exceeds "
+            f"the {MAX_FRAME}-byte frame limit"
+        )
+    sock.sendall(_HEADER.pack(len(body), mtype) + body)
+
+
+def _recv_exactly(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes.  A connection closed cleanly *between*
+    frames (``at_boundary``) returns None; closed mid-frame raises."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            if at_boundary and got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes received)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[int, Any] | None:
+    """Receive one typed frame; None when the peer closed cleanly
+    between frames.
+
+    Raises :class:`ProtocolError` on truncated or oversized frames,
+    unknown message types and undecodable payloads — never blocks
+    forever on garbage (socket timeouts propagate as ``TimeoutError``
+    for the caller's heartbeat logic).
+    """
+    head = _recv_exactly(sock, _HEADER.size, at_boundary=True)
+    if head is None:
+        return None
+    length, mtype = _HEADER.unpack(head)
+    if mtype not in MESSAGE_NAMES:
+        raise ProtocolError(f"unknown message type {mtype} (frame length {length})")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"{MESSAGE_NAMES[mtype]} frame of {length} bytes exceeds "
+            f"the {MAX_FRAME}-byte limit"
+        )
+    body = _recv_exactly(sock, length, at_boundary=False)
+    assert body is not None  # at_boundary=False never returns None
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise ProtocolError(
+            f"undecodable {MESSAGE_NAMES[mtype]} payload: {exc}"
+        ) from exc
+    return mtype, payload

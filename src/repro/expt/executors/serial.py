@@ -1,0 +1,24 @@
+"""The serial executor: run every point inline, in submit order.
+
+The reference implementation of the interface — no pools, no sockets,
+no reordering — and the baseline the cross-executor equivalence tests
+compare the parallel fabrics against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.expt.executors.base import Executor, run_point
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    name = "serial"
+
+    def drain(self) -> Iterator[dict]:
+        cache = self.options.make_cache()
+        for job in self.jobs:
+            self.counters["jobs_dispatched"] += 1
+            yield self._stamp(run_point(job, self.options, cache))

@@ -18,19 +18,29 @@ and the CLI parser are the same ones the ``easypap`` command uses) and
 appends one CSV row per run, with every parameter recorded, ready for
 ``easyplot``.
 
-Large sweeps are a first-class workload, not a for-loop:
+Large sweeps are a first-class workload, not a for-loop.  *Where* the
+grid runs is a pluggable :class:`~repro.expt.executors.Executor`:
 
-* ``workers=N`` fans the (configuration, repetition) grid out over a
-  ``multiprocessing`` pool; results stream back and are appended to
-  the CSV **as they finish**, so a killed sweep keeps every completed
-  point (results are deterministic, so parallel and serial sweeps
-  yield identical rows).
+* ``executor="serial"`` (default for ``workers=1``) runs points inline;
+* ``executor="local-procs"`` (default for ``workers=N``) fans out over
+  a ``multiprocessing`` pool on this host;
+* ``executor="socket"`` starts a TCP master; ``python -m repro.expt
+  worker --connect host:port`` processes — on this host or across a
+  cluster — pull jobs and push result rows back.
+
+Whatever the executor, results stream into the CSV **as they finish**,
+so a killed sweep keeps every completed point, and:
+
 * ``resume=True`` skips points already recorded in the CSV (keyed by
   the configuration's ``csv_row()`` identity plus the ``run`` index) —
   re-invoking a crashed or extended sweep only runs what is missing.
-  Rows recorded with ``status=error`` are retried.
+  The identity excludes the provenance columns, so a sweep interrupted
+  under one executor resumes under any other.  Rows recorded with
+  ``status=error`` are retried.
 * ``timeout=``/``retries=`` bound each point: a failing or overrunning
   run becomes a ``status=error`` row instead of aborting the sweep.
+  The socket executor adds lease-based requeues on top: a point whose
+  worker dies is re-dispatched (boundedly) to another worker.
 * ``reuse_work=True`` computes per-tile work once per (kernel, size,
   grain, iterations) and re-simulates the scheduling for each
   configuration — hundreds of configurations in seconds, with results
@@ -49,23 +59,24 @@ whose wall-clock times must come from actual execution.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import shlex
-import signal
-import threading
 import time
-from contextlib import contextmanager
 from itertools import product
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.cli import build_parser, config_from_args, parse_args_strict
 from repro.core.config import RunConfig
-from repro.core.engine import run
 from repro.errors import ConfigError
 from repro.expt.csvdb import append_rows, read_header, read_rows
-from repro.expt.replay import WorkProfileCache
+from repro.expt.executors import (
+    Executor,
+    RunOptions,
+    SweepJob,
+    SweepTimeout,
+    make_executor,
+)
 
 __all__ = [
     "execute",
@@ -85,15 +96,13 @@ easypap_options: dict[str, list] = {}
 omp_icv: dict[str, list] = {}
 
 #: the columns identifying one sweep point (a configuration + repetition);
-#: mirrors RunConfig.csv_row() + the run index
+#: mirrors RunConfig.csv_row() + the run index.  Provenance columns
+#: (executor, worker_id, machine) are deliberately excluded: where a
+#: point ran must not change *whether* it ran.
 IDENTITY_COLUMNS = (
     "kernel", "variant", "dim", "tile_w", "tile_h", "iterations",
     "threads", "schedule", "backend", "arg", "np", "run",
 )
-
-
-class SweepTimeout(Exception):
-    """A single sweep point exceeded its ``timeout=`` budget."""
 
 
 def _combinations(spec: Mapping[str, Sequence]) -> list[dict[str, Any]]:
@@ -191,128 +200,21 @@ def completed_points(csv_path: str | os.PathLike) -> set[tuple[str, ...]]:
     return done
 
 
-# -- running one point --------------------------------------------------------
-
-@contextmanager
-def _time_limit(seconds: float | None) -> Iterator[None]:
-    """Raise :class:`SweepTimeout` after ``seconds`` of wall time.
-
-    Implemented with ``SIGALRM``, so it is enforced only on POSIX main
-    threads (each pool worker's task runs on its main thread); elsewhere
-    it degrades to a no-op rather than failing the sweep.
-    """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise SweepTimeout(f"run exceeded {seconds}s")
-
-    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, old_handler)
-
-
-def _execute_point(
-    config: RunConfig,
-    rep: int,
-    *,
-    cache: WorkProfileCache | None,
-    machine: str,
-    timeout: float | None,
-    retries: int,
-) -> dict:
-    """One (configuration, repetition): a CSV row, never an exception.
-
-    Failures and timeouts are retried up to ``retries`` times, then
-    recorded as a ``status=error`` row so the rest of the sweep (and
-    ``easyplot`` over its output) keeps working.
-    """
-    rep_cfg = config.with_(run_index=rep)
-    row = dict(config.csv_row())
-    row["machine"] = machine
-    row["run"] = rep
-    last_error = ""
-    for _attempt in range(max(0, retries) + 1):
-        try:
-            with _time_limit(timeout):
-                if cache is not None:
-                    elapsed = cache.simulate(rep_cfg)
-                    completed = rep_cfg.iterations
-                    counters: dict = {}
-                else:
-                    result = run(rep_cfg)
-                    elapsed = result.elapsed
-                    completed = result.completed_iterations
-                    counters = result.counters
-        except SweepTimeout as exc:
-            last_error = str(exc)
-            continue
-        except Exception as exc:
-            last_error = f"{type(exc).__name__}: {exc}"
-            continue
-        row["time_us"] = round(elapsed * 1e6, 3)
-        row["completed"] = completed
-        # telemetry-bus counters: scheduling + channel health per point
-        row["steals"] = int(counters.get("steals", 0))
-        row["dropped_events"] = int(counters.get("dropped_events", 0))
-        row["status"] = "ok"
-        row["error"] = ""
-        return row
-    row["time_us"] = ""
-    row["completed"] = 0
-    row["steals"] = ""
-    row["dropped_events"] = ""
-    row["status"] = "error"
-    row["error"] = last_error[:200]
-    return row
-
-
-# -- the worker-pool side -----------------------------------------------------
-
-_WORKER_STATE: dict[str, Any] = {}
-
-
-def _init_worker(reuse_work: bool, cache_dir, machine: str,
-                 timeout: float | None, retries: int) -> None:
-    _WORKER_STATE["cache"] = (
-        WorkProfileCache(cache_dir=cache_dir) if reuse_work else None
-    )
-    _WORKER_STATE["machine"] = machine
-    _WORKER_STATE["timeout"] = timeout
-    _WORKER_STATE["retries"] = retries
-
-
-def _pool_point(job: tuple[RunConfig, int]) -> dict:
-    config, rep = job
-    return _execute_point(
-        config,
-        rep,
-        cache=_WORKER_STATE["cache"],
-        machine=_WORKER_STATE["machine"],
-        timeout=_WORKER_STATE["timeout"],
-        retries=_WORKER_STATE["retries"],
-    )
-
-
-def _pool_context():
-    """Fork where available (cheap, shares the kernel registry); spawn
-    otherwise."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
 # -- the driver ---------------------------------------------------------------
+
+def _resolve_executor(
+    executor: str | Executor | None, workers: int, n_jobs: int, verbose: bool,
+) -> Executor:
+    """Pick the executor: an instance is used as-is, a name is built
+    with defaults, None keeps the historical ``workers=`` behavior."""
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        executor = "serial" if workers == 1 or n_jobs <= 1 else "local-procs"
+    if not isinstance(executor, str):
+        raise ConfigError(f"executor must be a name or an Executor, got {executor!r}")
+    return make_executor(executor, workers=workers, verbose=verbose)
+
 
 def execute(
     prog: str = "easypap",
@@ -329,13 +231,19 @@ def execute(
     timeout: float | None = None,
     retries: int = 0,
     cache_dir: str | os.PathLike | None = None,
+    executor: str | Executor | None = None,
 ) -> list[dict]:
     """Run the sweep; returns (and appends to ``csv_path``) the new rows.
 
     ``prog`` is accepted for fidelity with the paper's script; only
     'easypap' is meaningful.  With ``resume=True`` the returned list
     holds only the points actually (re-)run this invocation; skipped
-    points stay untouched in the CSV.
+    points stay untouched in the CSV.  ``executor`` selects where
+    points run — a name from ``EXECUTOR_NAMES`` or a configured
+    :class:`~repro.expt.executors.Executor` instance (e.g. a
+    ``SocketExecutor`` whose address workers were already pointed at);
+    by default ``workers=1`` runs serially and ``workers=N`` uses the
+    local process pool.
     """
     if prog not in ("easypap", "./run", "run"):
         raise ConfigError(f"unknown program {prog!r} (expected 'easypap')")
@@ -348,17 +256,27 @@ def execute(
     if cache_dir is None:
         cache_dir = os.environ.get("REPRO_WORK_CACHE") or None
 
-    jobs = sweep_points(icvs, options, runs)
-    total = len(jobs)
+    grid = sweep_points(icvs, options, runs)
+    total = len(grid)
     if resume:
         done = completed_points(csv_path)
-        jobs = [
+        grid = [
             (config, rep)
-            for config, rep in jobs
+            for config, rep in grid
             if point_key({**config.csv_row(), "run": rep}) not in done
         ]
-        if verbose and len(jobs) < total:
-            print(f"resume: {total - len(jobs)}/{total} points already recorded")
+        if verbose and len(grid) < total:
+            print(f"resume: {total - len(grid)}/{total} points already recorded")
+
+    jobs = [SweepJob(i, config, rep) for i, (config, rep) in enumerate(grid)]
+    exec_obj = _resolve_executor(executor, workers, len(jobs), verbose)
+    exec_obj.configure(RunOptions(
+        machine=machine,
+        timeout=timeout,
+        retries=retries,
+        reuse_work=reuse_work,
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+    ))
 
     rows: list[dict] = []
     started = time.perf_counter()
@@ -377,30 +295,20 @@ def execute(
                 f"run={row['run']} {shown}"
             )
 
-    if workers == 1 or len(jobs) <= 1:
-        cache = WorkProfileCache(cache_dir=cache_dir) if reuse_work else None
-        for config, rep in jobs:
-            record(_execute_point(config, rep, cache=cache, machine=machine,
-                                  timeout=timeout, retries=retries))
-    else:
-        if reuse_work:
-            # keep each workload's points contiguous so one worker
-            # captures the profile and replays the rest from memory
-            jobs.sort(key=lambda j: (WorkProfileCache.workload_key(j[0]), j[1]))
-            chunksize = max(1, len(jobs) // (workers * 4))
-        else:
-            chunksize = 1
-        ctx = _pool_context()
-        with ctx.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(reuse_work, cache_dir, machine, timeout, retries),
-        ) as pool:
-            for row in pool.imap_unordered(_pool_point, jobs, chunksize=chunksize):
-                record(row)
+    try:
+        for job in jobs:
+            exec_obj.submit(job)
+        for row in exec_obj.drain():
+            record(row)
+    finally:
+        exec_obj.close()
 
     if verbose:
         wall = time.perf_counter() - started
+        fabric = ", ".join(
+            f"{k}={v}" for k, v in exec_obj.counters.items() if v
+        )
         print(f"sweep: {len(rows)} points in {wall:.2f}s "
-              f"({workers} worker{'s' if workers > 1 else ''})")
+              f"(executor={exec_obj.name}"
+              + (f", {fabric}" if fabric else "") + ")")
     return rows

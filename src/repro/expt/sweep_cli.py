@@ -12,6 +12,19 @@ is repeat-only because schedule specs contain commas (``dynamic,2``).
 ``--workers``, ``--resume``, ``--timeout``/``--retries`` and
 ``--cache-dir`` expose the parallel runner's fault-tolerance knobs
 (see :func:`repro.expt.exptools.execute`).
+
+``--executor`` picks where points run (serial, local-procs, socket).
+A distributed sweep is the same grid with a socket master::
+
+    python -m repro.expt ... --executor socket --bind 0.0.0.0:7777
+
+plus any number of workers, on any hosts::
+
+    python -m repro.expt worker --connect master-host:7777
+
+A worker exits 0 when the master sends NO_MORE_JOBS — or when no
+master is reachable, so late workers after a finished sweep are
+harmless.
 """
 
 from __future__ import annotations
@@ -20,9 +33,10 @@ import argparse
 import sys
 
 from repro.errors import EasypapError
+from repro.expt.executors import EXECUTOR_NAMES, make_executor, parse_address, run_worker
 from repro.expt.exptools import DEFAULT_CSV, execute
 
-__all__ = ["build_sweep_parser", "main"]
+__all__ = ["build_sweep_parser", "build_worker_parser", "main"]
 
 
 def _csv_list(text: str) -> list[str]:
@@ -33,7 +47,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.expt",
         description="expTools parameter sweep: the cartesian product of all "
-        "swept dimensions, run in parallel, appended to a results CSV.",
+        "swept dimensions, run in parallel, appended to a results CSV.  "
+        "('python -m repro.expt worker --connect HOST:PORT' starts a "
+        "distributed sweep worker instead.)",
     )
     grid = p.add_argument_group("swept dimensions (comma-separated or repeated)")
     grid.add_argument("-k", "--kernel", action="append", default=None,
@@ -62,6 +78,20 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="repetitions per configuration")
     runner.add_argument("-w", "--workers", type=int, default=1,
                         help="worker processes (1 = serial)")
+    runner.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                        help="where points run (default: serial for "
+                        "--workers 1, local-procs otherwise)")
+    runner.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="socket executor: master listen address "
+                        "(default 127.0.0.1:0 = ephemeral port, printed "
+                        "unless --quiet)")
+    runner.add_argument("--lease-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="socket executor: requeue a dispatched job whose "
+                        "worker goes silent this long")
+    runner.add_argument("--max-requeues", type=int, default=2, metavar="N",
+                        help="socket executor: dispatch attempts per job after "
+                        "worker deaths before recording status=error")
     runner.add_argument("--resume", action="store_true",
                         help="skip points already recorded in the CSV")
     runner.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -79,6 +109,24 @@ def build_sweep_parser() -> argparse.ArgumentParser:
                         help="machine label for CSV rows")
     runner.add_argument("-q", "--quiet", action="store_true",
                         help="no per-point progress lines")
+    return p
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.expt worker",
+        description="Distributed sweep worker: pulls jobs from a socket "
+        "master, pushes result rows back, exits on NO_MORE_JOBS.",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the master's address (--bind on the sweep side)")
+    p.add_argument("--heartbeat", type=float, default=5.0, metavar="SECONDS",
+                   help="idle liveness ping interval while parked")
+    p.add_argument("--connect-wait", type=float, default=10.0, metavar="SECONDS",
+                   help="keep retrying the connection this long (workers may "
+                   "start before the master binds)")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="no per-job progress lines")
     return p
 
 
@@ -114,10 +162,38 @@ def _grid(args: argparse.Namespace) -> tuple[dict, dict]:
     return options, icvs
 
 
+def _worker_main(argv: list[str]) -> int:
+    args = build_worker_parser().parse_args(argv)
+    try:
+        host, port = parse_address(args.connect)
+    except EasypapError as exc:
+        print(f"repro.expt worker: {exc}", file=sys.stderr)
+        return 2
+    return run_worker(
+        host, port,
+        heartbeat=args.heartbeat,
+        connect_wait=args.connect_wait,
+        verbose=not args.quiet,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     args = build_sweep_parser().parse_args(argv)
     options, icvs = _grid(args)
     try:
+        executor = args.executor
+        if executor is not None or args.bind is not None:
+            executor = make_executor(
+                executor or "socket",
+                workers=args.workers,
+                bind=args.bind,
+                lease_timeout=args.lease_timeout,
+                max_requeues=args.max_requeues,
+                verbose=not args.quiet,
+            )
         rows = execute(
             "easypap",
             icvs,
@@ -132,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
             timeout=args.timeout,
             retries=args.retries,
             cache_dir=args.cache_dir,
+            executor=executor,
         )
     except EasypapError as exc:
         print(f"repro.expt: {exc}", file=sys.stderr)

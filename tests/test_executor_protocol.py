@@ -1,0 +1,152 @@
+"""Unit tests for the socket executor's message layer.
+
+The protocol contract: every frame round-trips exactly; every
+deviation — truncated frames, oversized frames, unknown type bytes,
+undecodable payloads — is a clean :class:`ProtocolError`, never a hang
+and never a silently-wrong message.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.expt.executors.base import RunOptions
+from repro.expt.executors.protocol import (
+    HEARTBEAT,
+    JOB,
+    MAX_FRAME,
+    MESSAGE_NAMES,
+    NO_MORE_JOBS,
+    REQUEST_JOB,
+    RESULT,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRoundTrip:
+    def test_every_message_type_round_trips(self, pair):
+        a, b = pair
+        payloads = {
+            REQUEST_JOB: {"worker_id": "host-123"},
+            JOB: {
+                "job_id": 7,
+                "config": RunConfig(kernel="mandel", variant="omp_tiled", dim=64,
+                                    tile_w=16, tile_h=16, iterations=2),
+                "rep": 1,
+                "options": RunOptions(machine="m", timeout=1.5, retries=2),
+            },
+            RESULT: {"job_id": 7, "row": {"kernel": "mandel", "time_us": 12.5}},
+            NO_MORE_JOBS: None,
+            HEARTBEAT: None,
+        }
+        for mtype, payload in payloads.items():
+            send_message(a, mtype, payload)
+            got_type, got_payload = recv_message(b)
+            assert got_type == mtype
+            if mtype == JOB:
+                assert got_payload["config"].csv_row() == payload["config"].csv_row()
+                assert got_payload["options"] == payload["options"]
+            else:
+                assert got_payload == payload
+
+    def test_frames_stay_aligned_back_to_back(self, pair):
+        a, b = pair
+        for i in range(20):
+            send_message(a, RESULT, {"job_id": i, "row": {"x": "y" * i}})
+        for i in range(20):
+            mtype, payload = recv_message(b)
+            assert mtype == RESULT and payload["job_id"] == i
+
+    def test_clean_close_between_frames_is_none(self, pair):
+        a, b = pair
+        send_message(a, HEARTBEAT)
+        a.close()
+        assert recv_message(b) == (HEARTBEAT, None)
+        assert recv_message(b) is None
+
+
+class TestRejection:
+    def test_truncated_header_raises(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")  # 2 of 5 header bytes, then EOF
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_message(b)
+
+    def test_truncated_payload_raises(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">IB", 100, HEARTBEAT) + b"x" * 10)
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_message(b)
+
+    def test_oversized_incoming_frame_rejected_before_allocation(self, pair):
+        a, b = pair
+        # a length prefix of ~4 GiB must be refused from the header alone
+        a.sendall(struct.pack(">IB", 2**32 - 1, RESULT))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_message(b)
+
+    def test_oversized_outgoing_payload_rejected(self, pair):
+        a, _b = pair
+        with pytest.raises(ProtocolError, match="exceeds"):
+            send_message(a, RESULT, {"row": b"x" * (MAX_FRAME + 1)})
+
+    def test_unknown_message_type_is_an_error_not_a_hang(self, pair):
+        a, b = pair
+        bogus = 42
+        assert bogus not in MESSAGE_NAMES
+        a.sendall(struct.pack(">IB", 0, bogus))
+        with pytest.raises(ProtocolError, match="unknown message type 42"):
+            recv_message(b)
+
+    def test_unknown_type_refused_on_send_too(self, pair):
+        a, _b = pair
+        with pytest.raises(ProtocolError, match="unknown"):
+            send_message(a, 0, None)
+
+    def test_undecodable_payload_raises(self, pair):
+        a, b = pair
+        garbage = b"this is not a pickle"
+        a.sendall(struct.pack(">IB", len(garbage), RESULT) + garbage)
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_message(b)
+
+
+class TestFraming:
+    def test_partial_delivery_is_reassembled(self, pair):
+        """A frame arriving one byte at a time still decodes (TCP is a
+        byte stream; the receiver must loop, not assume one recv)."""
+        a, b = pair
+        frame_payload = {"job_id": 3, "row": {"k": "v" * 100}}
+        done = threading.Event()
+
+        def dribble():
+            import pickle
+            body = pickle.dumps(frame_payload)
+            frame = struct.pack(">IB", len(body), RESULT) + body
+            for i in range(len(frame)):
+                a.sendall(frame[i:i + 1])
+            done.set()
+
+        t = threading.Thread(target=dribble)
+        t.start()
+        mtype, payload = recv_message(b)
+        t.join(timeout=10)
+        assert done.is_set()
+        assert mtype == RESULT and payload == frame_payload
