@@ -37,7 +37,7 @@ import sys
 import time
 from pathlib import Path
 
-from _common import fmt_table, report
+from _common import fmt_table, gate_skip_reason, report
 from repro.core.config import RunConfig
 from repro.core.engine import run
 from repro.core.kernel import load_kernel_module
@@ -115,8 +115,9 @@ def render(payload: dict) -> str:
 
 def check(measured: dict, baseline_path: Path, tolerance: float) -> list[str]:
     """Return a list of failures (empty == pass)."""
-    if measured["cpu_count"] < 2:
-        print("procs perf gate skipped: host has a single CPU "
+    skip = gate_skip_reason(measured, needs_cpus=2)
+    if skip is not None:
+        print(f"procs perf gate skipped: {skip} "
               "(no real parallelism to measure)")
         return []
     failures = []
@@ -128,8 +129,9 @@ def check(measured: dict, baseline_path: Path, tolerance: float) -> list[str]:
             f"({WORKERS} workers, {measured['cpu_count']} CPUs)"
         )
     baseline = json.loads(baseline_path.read_text())
-    if baseline.get("cpu_count", 1) < 2:
-        print(f"baseline {baseline_path} was measured on a single-CPU host; "
+    base_skip = gate_skip_reason(baseline, needs_cpus=2)
+    if base_skip is not None:
+        print(f"baseline {baseline_path}: {base_skip}; "
               "ratio comparison skipped")
         return failures
     base = baseline["results"]

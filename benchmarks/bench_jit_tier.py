@@ -1,0 +1,197 @@
+"""Perf-regression harness for the compiled (numba) tile-body tier.
+
+Times the ``mandel`` kernel at 512x512 with the per-tile fastpath
+disabled (``fastpath="off"``), so every tile goes through ``do_tile``
+and the difference between the two executions is exactly the tile
+body: ``jit="auto"`` (the compiled core, where numba is importable)
+versus ``jit="off"`` (the numpy reference body).  Speedups are medians
+of *paired* ratios, the same same-machine statistic the other gated
+benchmarks use.
+
+The tiers are bit-identical by construction (differential tests assert
+it); this benchmark answers the perf question only: is the compiled
+tier actually worth selecting?
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_jit_tier.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_jit_tier.py \
+        --out BENCH_jit.json
+    PYTHONPATH=src:benchmarks python benchmarks/bench_jit_tier.py \
+        --quick --check BENCH_jit.json
+
+``--check`` exits non-zero when, *on a host where numba imports*, the
+compiled tier's best speedup over the numpy reference falls below the
+gate (>= 3x) or the median regresses more than ``--tolerance`` below
+the committed baseline.  Hosts without numba run the fallback twice —
+there is nothing to gate, only to record: the JSON carries a ``numba``
+capability flag (mirrored from :func:`repro.core.jit.probe`) so a
+no-numba baseline never gates a host that can compile, and vice versa.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from _common import fmt_table, gate_skip_reason, report
+from repro.core import jit
+from repro.core.config import RunConfig
+from repro.core.engine import run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_jit.json"
+
+#: acceptance gate (numba hosts only): the compiled mandel tile body
+#: must beat the numpy reference body by at least this factor
+GATE_SPEEDUP = 3.0
+
+CONFIG = dict(
+    kernel="mandel", variant="omp_tiled", dim=512, tile_w=64, tile_h=64,
+    iterations=1, nthreads=1, schedule="dynamic", backend="sim",
+    # the whole point: force the per-tile path so the tile *body* is
+    # what gets measured, not the whole-frame fastpath
+    fastpath="off",
+)
+
+
+def _timed(jit_mode: str) -> tuple[float, str]:
+    cfg = RunConfig(jit=jit_mode, **CONFIG)
+    t0 = time.perf_counter()
+    result = run(cfg)
+    return time.perf_counter() - t0, result.jit_tier
+
+
+def measure(reps: int) -> dict:
+    cap = jit.probe()
+    # one untimed warmup per tier absorbs first-call costs — for the
+    # compiled tier that is the njit compilation itself (cache=True
+    # persists it, but a cold CI runner pays it here, not in the reps)
+    _, tier_auto = _timed("auto")
+    _, tier_off = _timed("off")
+    jit_ts, ref_ts = [], []
+    for _ in range(reps):
+        t, _ = _timed("auto")
+        jit_ts.append(t)
+        t, _ = _timed("off")
+        ref_ts.append(t)
+    ratios = sorted(r / j for r, j in zip(ref_ts, jit_ts))
+    return {
+        "schema": 1,
+        "cpu_count": os.cpu_count() or 1,
+        "numba": cap.available,
+        "numba_version": cap.version,
+        "probe_reason": cap.reason,
+        "tier_auto": tier_auto,
+        "tier_off": tier_off,
+        "gate": {
+            "min_speedup_jit_vs_numpy": GATE_SPEEDUP,
+            "needs_cpus": 1,
+            "capability": "numba",
+        },
+        "results": {
+            "time_jit_s": round(min(jit_ts), 4),
+            "time_numpy_s": round(min(ref_ts), 4),
+            # median paired ratio: the stable regression statistic
+            "speedup_jit_vs_numpy": round(ratios[len(ratios) // 2], 3),
+            # best paired ratio: what the machine is capable of (the
+            # absolute gate uses this, best-of-N convention)
+            "speedup_jit_vs_numpy_best": round(ratios[-1], 3),
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    r = payload["results"]
+    rows = [[
+        f"mandel-{CONFIG['dim']}",
+        payload["tier_auto"],
+        "yes" if payload["numba"] else "no",
+        r["time_jit_s"], r["time_numpy_s"],
+        f"{r['speedup_jit_vs_numpy']:.2f}x",
+        f"{r['speedup_jit_vs_numpy_best']:.2f}x",
+    ]]
+    return fmt_table(
+        ["config", "tier", "numba", "t jit", "t numpy",
+         "jit/numpy", "best"],
+        rows,
+    )
+
+
+def check(measured: dict, baseline_path: Path, tolerance: float) -> list[str]:
+    """Return a list of failures (empty == pass)."""
+    skip = gate_skip_reason(measured, needs_cpus=1, capability="numba")
+    if skip is not None:
+        print(f"jit perf gate skipped: {skip} "
+              f"(probe: {measured['probe_reason']}) — fallback tier "
+              f"{measured['tier_auto']!r} measured, nothing to gate")
+        return []
+    failures = []
+    got = measured["results"]
+    if measured["tier_auto"] != "jit":
+        failures.append(
+            "numba is importable but the jit='auto' run resolved to "
+            f"tier {measured['tier_auto']!r} (probe: "
+            f"{measured['probe_reason']})"
+        )
+    if got["speedup_jit_vs_numpy_best"] < GATE_SPEEDUP:
+        failures.append(
+            f"compiled tier best speedup {got['speedup_jit_vs_numpy_best']:.2f}x "
+            f"over the numpy body is below the {GATE_SPEEDUP:.1f}x floor"
+        )
+    baseline = json.loads(baseline_path.read_text())
+    base_skip = gate_skip_reason(baseline, needs_cpus=1, capability="numba")
+    if base_skip is not None:
+        print(f"baseline {baseline_path}: {base_skip}; "
+              "ratio comparison skipped")
+        return failures
+    base = baseline["results"]
+    floor = base["speedup_jit_vs_numpy"] * (1.0 - tolerance)
+    if got["speedup_jit_vs_numpy"] < floor:
+        failures.append(
+            f"jit/numpy speedup {got['speedup_jit_vs_numpy']:.2f}x regressed "
+            f"more than {tolerance:.0%} below baseline "
+            f"{base['speedup_jit_vs_numpy']:.2f}x"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer reps (CI smoke)")
+    ap.add_argument("--reps", type=int, default=None,
+                    help="paired reps; default 7, 3 with --quick")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the measured baseline JSON here")
+    ap.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                    help="compare against a committed baseline; exit 1 on regression")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional speedup regression (default 0.30)")
+    args = ap.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (3 if args.quick else 7)
+    payload = measure(reps)
+    report("jit_tier", render(payload))
+
+    if args.out:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline written to {args.out}")
+    if args.check:
+        failures = check(payload, args.check, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"jit perf check OK vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

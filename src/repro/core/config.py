@@ -64,6 +64,7 @@ class RunConfig:
     jitter: float = 0.0  # relative sigma of simulated system noise
     run_index: int = 0  # repetition number (seeds the jitter stream)
     fastpath: str = "auto"  # "auto": whole-frame perf path when possible; "off": reference
+    jit: str = "auto"  # "auto": compiled tile bodies when numba allows; "off": reference
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -106,6 +107,8 @@ class RunConfig:
             raise ConfigError(
                 f"fastpath must be 'auto' or 'off', got {self.fastpath!r}"
             )
+        if self.jit not in ("auto", "off"):
+            raise ConfigError(f"jit must be 'auto' or 'off', got {self.jit!r}")
         # raises ScheduleError on bad specs:
         self.policy()
 

@@ -1,0 +1,458 @@
+"""Optional JIT compilation tier for per-tile kernel bodies.
+
+The engine runs each kernel through one of three execution tiers:
+
+* **fastpath** — whole-frame batch kernels (``compute_frame``), the
+  vectorized perf-mode path of :mod:`repro.omp.parallel`;
+* **jit** — per-tile bodies compiled with ``numba.njit(nogil=True,
+  cache=True)`` from the :data:`JIT_BODIES` registry below;
+* **interpreted** — the reference numpy/pure-Python tile bodies.
+
+numba is strictly optional.  :func:`probe` detects it once per process;
+when it is absent, compilation fails, ``--no-jit`` was passed, or
+``$REPRO_NO_JIT`` is set, :func:`resolve` returns ``None`` and kernels
+fall back to their existing bodies — **bit-identically**: every core in
+the registry reproduces the reference arithmetic operation for
+operation (same association, same rounding), which the differential
+suite enforces by executing the cores *interpreted* against the numpy
+references (no numba required) and, where numba exists, by the jit-on
+vs jit-off image comparison.
+
+``nogil=True`` is the point of the tier for real backends: a compiled
+tile body releases the GIL, so ``backend="threads"`` (and the procs
+pool, which compiles per worker and shares the on-disk numba cache via
+``cache=True``) finally scale on GIL-bound workloads.
+
+The registry is deliberately self-contained: each core is a plain
+Python function written in nopython-compilable style with **no calls to
+helpers outside the function body**, so ``njit`` can compile it in one
+shot and the interpreted execution used by the test suite exercises the
+exact code numba would compile.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "JIT_BODIES",
+    "JitCapability",
+    "JitEntry",
+    "NO_JIT_ENV",
+    "compiled_body",
+    "jit_enabled",
+    "probe",
+    "reset",
+    "resolve",
+    "select_tier",
+]
+
+#: environment kill-switch (any non-empty value disables the tier)
+NO_JIT_ENV = "REPRO_NO_JIT"
+
+
+@dataclass(frozen=True)
+class JitCapability:
+    """Result of the numba capability probe."""
+
+    available: bool
+    reason: str
+    version: str = ""
+
+
+_PROBE: JitCapability | None = None
+
+#: per-process compile results: kernel name -> (callable | None, reason)
+_COMPILED: dict[str, tuple[Callable | None, str]] = {}
+
+
+def probe(refresh: bool = False) -> JitCapability:
+    """Detect numba once per process (``refresh=True`` re-probes)."""
+    global _PROBE
+    if _PROBE is None or refresh:
+        try:
+            import numba
+
+            _PROBE = JitCapability(
+                True, "ok", str(getattr(numba, "__version__", "unknown"))
+            )
+        except Exception as exc:  # ModuleNotFoundError or a broken install
+            _PROBE = JitCapability(
+                False, f"numba unavailable ({type(exc).__name__}: {exc})"
+            )
+    return _PROBE
+
+
+def reset() -> None:
+    """Drop the probe and compile caches (tests that fake the toolchain)."""
+    global _PROBE
+    _PROBE = None
+    _COMPILED.clear()
+
+
+def _compile(core: Callable) -> Callable:
+    """Wrap one registry core with numba.  Isolated so tests can
+    substitute a fake compiler (e.g. the identity) to exercise the
+    whole jit dispatch path without numba installed."""
+    import numba
+
+    return numba.njit(nogil=True, cache=True)(core)
+
+
+def compiled_body(kernel_name: str) -> tuple[Callable | None, str]:
+    """The compiled core for ``kernel_name`` — compiled (and smoke-
+    checked) once per process — or ``(None, reason)``.
+
+    A compile or smoke failure is cached too: the run falls back to the
+    interpreted body instead of retrying the compiler on every tile.
+    """
+    cached = _COMPILED.get(kernel_name)
+    if cached is not None:
+        return cached
+    cap = probe()
+    if not cap.available:
+        out: tuple[Callable | None, str] = (None, cap.reason)
+    elif kernel_name not in JIT_BODIES:
+        out = (None, f"no JIT body registered for kernel {kernel_name!r}")
+    else:
+        entry = JIT_BODIES[kernel_name]
+        try:
+            fn = _compile(entry.core)
+            entry.smoke(fn)  # forces compilation; raises on a miscompile
+            out = (fn, f"numba {cap.version} nogil tile body")
+        except Exception as exc:
+            out = (None, f"compile failed: {type(exc).__name__}: {exc}")
+    _COMPILED[kernel_name] = out
+    return out
+
+
+def jit_enabled(config) -> tuple[bool, str]:
+    """Whether the configuration (and environment) allow the jit tier."""
+    if getattr(config, "jit", "auto") == "off":
+        return False, "disabled (--no-jit)"
+    if os.environ.get(NO_JIT_ENV):
+        return False, f"disabled (${NO_JIT_ENV})"
+    return True, "ok"
+
+
+def resolve(config) -> tuple[Callable | None, str]:
+    """The compiled tile core a run should use, or ``(None, why-not)``.
+
+    This is what :class:`~repro.core.context.ExecutionContext` calls at
+    construction — including the contexts procs workers rebuild from
+    the shipped config, so every worker process compiles (or cleanly
+    declines) on its own; ``cache=True`` shares the compiled artifacts
+    on disk between them.
+    """
+    enabled, reason = jit_enabled(config)
+    if not enabled:
+        return None, reason
+    return compiled_body(config.kernel)
+
+
+def select_tier(config) -> tuple[str, str]:
+    """Config-level execution-tier prediction: ``(tier, reason)``.
+
+    Mirrors ``ExecutionContext.execution_tier()`` for code that has no
+    context (the work-profile cache key, sweep provenance for replayed
+    rows).  The one thing a config cannot see is an externally attached
+    telemetry consumer demanding timelines; those exist only in tests.
+
+    Tier precedence: **fastpath** (whole-frame batch kernels — already
+    the fastest path where it engages) over **jit** over
+    **interpreted**.  The jit bodies still serve the per-tile path of a
+    fastpath-tier run whenever a frame declines a region (e.g. the lazy
+    Life variant scheduling a non-frame tile subset).
+    """
+    if (
+        config.backend == "sim"
+        and config.fastpath != "off"
+        and not (config.monitoring or config.trace or config.footprints)
+    ):
+        return "fastpath", "whole-frame batch path (sim backend, uninstrumented)"
+    core, reason = resolve(config)
+    if core is not None:
+        return "jit", reason
+    return "interpreted", reason
+
+
+# --------------------------------------------------------------------------
+# The nopython tile cores
+# --------------------------------------------------------------------------
+#
+# Every core reproduces its kernel's reference arithmetic bit for bit:
+#
+# * mandel — the scalar escape loop evaluates ``zr2 + zi2 > 4.0`` on
+#   freshly squared terms and updates ``zi`` before ``zr``, exactly the
+#   elementwise order of ``mandel_counts``; per-pixel work is
+#   ``count + 1`` loop trips for escapees (the reference charges the
+#   escaping iteration too) and ``max_iter`` otherwise, and the float
+#   work accumulator sums integers well below 2**53, so the total is
+#   exact regardless of summation order.
+# * blur — channel sums are integers (<= 9 * 255), so the float64
+#   division ``sum / n`` sees the identical operands as the vectorized
+#   ``acc / cnt``; rounding is inlined half-to-even, the definition of
+#   ``np.rint`` used by ``merge_channels`` (the clip to [0, 255] is a
+#   no-op on an average of bytes and therefore omitted).
+# * life / sandpile — pure integer rules; equality is structural.
+# * heat — neighbour replication reads ``temp[max(i-1, 0), j]`` etc.,
+#   matching the edge-replicated pad, and the update keeps the numpy
+#   association ``0.25 * (((up + down) + left) + right)``; the running
+#   max of |update| equals the vectorized max (no NaNs survive the
+#   source substitution).
+
+
+def _mandel_core(crs, cis, cjr, cji, julia, max_iter, counts):
+    """Escape counts for the rectangle crs x cis; returns total work.
+
+    ``crs``/``cis`` are the 1-D real/imaginary coordinate axes,
+    ``counts`` the preallocated (h, w) int32 output.  With ``julia``
+    set, z starts at the pixel and (cjr, cji) is the fixed parameter.
+    """
+    work = 0.0
+    h = cis.shape[0]
+    w = crs.shape[0]
+    for i in range(h):
+        for j in range(w):
+            if julia:
+                zr = crs[j]
+                zi = cis[i]
+                cr = cjr
+                ci = cji
+            else:
+                zr = 0.0
+                zi = 0.0
+                cr = crs[j]
+                ci = cis[i]
+            cnt = max_iter
+            for it in range(max_iter):
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > 4.0:
+                    cnt = it
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+            counts[i, j] = cnt
+            work += cnt + 1 if cnt < max_iter else max_iter
+    return work
+
+
+def _blur_core(src, dst, x, y, w, h):
+    """3x3 mean filter on packed-RGBA uint32, border-clipped.
+
+    Signature-compatible with ``blur_rect_vectorized`` so kernels can
+    swap one for the other."""
+    H = src.shape[0]
+    W = src.shape[1]
+    sums = np.zeros(4, dtype=np.int64)
+    for i in range(y, y + h):
+        for j in range(x, x + w):
+            for ch in range(4):
+                sums[ch] = 0
+            n = 0
+            for di in range(-1, 2):
+                yy = i + di
+                if yy < 0 or yy >= H:
+                    continue
+                for dj in range(-1, 2):
+                    xx = j + dj
+                    if xx < 0 or xx >= W:
+                        continue
+                    p = np.int64(src[yy, xx])
+                    sums[0] += (p >> 24) & 0xFF
+                    sums[1] += (p >> 16) & 0xFF
+                    sums[2] += (p >> 8) & 0xFF
+                    sums[3] += p & 0xFF
+                    n += 1
+            out = np.uint32(0)
+            for ch in range(4):
+                q = sums[ch] / n
+                f = math.floor(q)
+                d = q - f
+                if d > 0.5:
+                    r = f + 1
+                elif d < 0.5:
+                    r = f
+                elif f % 2 == 0:  # exact tie: round half to even (np.rint)
+                    r = f
+                else:
+                    r = f + 1
+                out = (out << np.uint32(8)) | np.uint32(r)
+            dst[i, j] = out
+    return None
+
+
+def _life_core(cells, nxt, y, x, h, w):
+    """One Life step on a rectangle; returns the number of changed cells.
+
+    Signature-compatible with ``life_step_rect``; out-of-grid cells are
+    dead."""
+    H = cells.shape[0]
+    W = cells.shape[1]
+    changed = 0
+    for i in range(y, y + h):
+        for j in range(x, x + w):
+            n = 0
+            for di in range(-1, 2):
+                yy = i + di
+                if yy < 0 or yy >= H:
+                    continue
+                for dj in range(-1, 2):
+                    if di == 0 and dj == 0:
+                        continue
+                    xx = j + dj
+                    if xx < 0 or xx >= W:
+                        continue
+                    n += cells[yy, xx]
+            cur = cells[i, j]
+            alive = 1 if (n == 3 or (cur == 1 and n == 2)) else 0
+            if alive != cur:
+                changed += 1
+            nxt[i, j] = alive
+    return changed
+
+
+def _heat_core(temp, nxt, sources, y, x, h, w):
+    """One Jacobi step on a rectangle; returns the max absolute update.
+
+    Signature-compatible with ``jacobi_step_rect``; borders replicate
+    their edge neighbour (insulation), source cells stay fixed."""
+    H = temp.shape[0]
+    W = temp.shape[1]
+    delta = 0.0
+    for i in range(y, y + h):
+        for j in range(x, x + w):
+            up = temp[i - 1, j] if i > 0 else temp[0, j]
+            dn = temp[i + 1, j] if i < H - 1 else temp[H - 1, j]
+            lf = temp[i, j - 1] if j > 0 else temp[i, 0]
+            rt = temp[i, j + 1] if j < W - 1 else temp[i, W - 1]
+            new = 0.25 * (up + dn + lf + rt)
+            s = sources[i, j]
+            if not np.isnan(s):
+                new = s
+            nxt[i, j] = new
+            d = abs(new - temp[i, j])
+            if d > delta:
+                delta = d
+    return delta
+
+
+def _sandpile_core(grains, nxt, y, x, h, w):
+    """One synchronous toppling step; returns the number of changed cells.
+
+    Signature-compatible with ``sandpile_step_rect``; the border is a
+    sink."""
+    H = grains.shape[0]
+    W = grains.shape[1]
+    changed = 0
+    for i in range(y, y + h):
+        for j in range(x, x + w):
+            inflow = 0
+            if i > 0:
+                inflow += grains[i - 1, j] // 4
+            if i < H - 1:
+                inflow += grains[i + 1, j] // 4
+            if j > 0:
+                inflow += grains[i, j - 1] // 4
+            if j < W - 1:
+                inflow += grains[i, j + 1] // 4
+            cur = grains[i, j]
+            new = cur % 4 + inflow
+            if new != cur:
+                changed += 1
+            nxt[i, j] = new
+    return changed
+
+
+# --------------------------------------------------------------------------
+# Smoke checks: compiled-vs-interpreted on tiny inputs
+# --------------------------------------------------------------------------
+#
+# Each smoke runs the *compiled* function and the interpreted core on
+# the same small arrays and requires identical results.  It forces
+# compilation eagerly (so a failure downgrades the whole run to the
+# interpreted tier up front, instead of exploding mid-region) and
+# catches gross miscompiles; full bit-identity against the numpy
+# reference bodies is enforced by tests/test_jit_tier.py.
+
+
+def _smoke_mandel(fn: Callable) -> None:
+    crs = np.array([-0.6, 0.4, 2.0])
+    cis = np.array([0.3, -1.1])
+    a = np.empty((2, 3), dtype=np.int32)
+    b = np.empty((2, 3), dtype=np.int32)
+    wa = fn(crs, cis, 0.0, 0.0, False, 24, a)
+    wb = _mandel_core(crs, cis, 0.0, 0.0, False, 24, b)
+    if wa != wb or not np.array_equal(a, b):
+        raise RuntimeError("mandel jit smoke mismatch")
+
+
+def _smoke_blur(fn: Callable) -> None:
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, 2**32, size=(5, 5), dtype=np.uint32)
+    a = np.zeros_like(src)
+    b = np.zeros_like(src)
+    fn(src, a, 0, 0, 5, 5)
+    _blur_core(src, b, 0, 0, 5, 5)
+    if not np.array_equal(a, b):
+        raise RuntimeError("blur jit smoke mismatch")
+
+
+def _smoke_life(fn: Callable) -> None:
+    cells = np.zeros((6, 6), dtype=np.uint8)
+    cells[2, 1:4] = 1  # a blinker
+    a = np.zeros_like(cells)
+    b = np.zeros_like(cells)
+    ca = fn(cells, a, 0, 0, 6, 6)
+    cb = _life_core(cells, b, 0, 0, 6, 6)
+    if ca != cb or not np.array_equal(a, b):
+        raise RuntimeError("life jit smoke mismatch")
+
+
+def _smoke_heat(fn: Callable) -> None:
+    temp = np.linspace(0.0, 1.0, 25).reshape(5, 5)
+    sources = np.full((5, 5), np.nan)
+    sources[0, 0] = 1.0
+    a = np.zeros_like(temp)
+    b = np.zeros_like(temp)
+    da = fn(temp, a, sources, 0, 0, 5, 5)
+    db = _heat_core(temp, b, sources, 0, 0, 5, 5)
+    if da != db or not np.array_equal(a, b):
+        raise RuntimeError("heat jit smoke mismatch")
+
+
+def _smoke_sandpile(fn: Callable) -> None:
+    grains = np.full((5, 5), 5, dtype=np.int64)
+    a = np.zeros_like(grains)
+    b = np.zeros_like(grains)
+    ca = fn(grains, a, 0, 0, 5, 5)
+    cb = _sandpile_core(grains, b, 0, 0, 5, 5)
+    if ca != cb or not np.array_equal(a, b):
+        raise RuntimeError("sandpile jit smoke mismatch")
+
+
+@dataclass(frozen=True)
+class JitEntry:
+    """One registry entry: the nopython core and its smoke check."""
+
+    core: Callable
+    smoke: Callable
+
+
+#: kernel name -> compiled tile body source.  Kernels consult the
+#: resolved callable through ``ctx.jit_core`` (see ExecutionContext);
+#: kernels absent from this registry simply never leave the
+#: numpy/pure-python path.
+JIT_BODIES: dict[str, JitEntry] = {
+    "mandel": JitEntry(_mandel_core, _smoke_mandel),
+    "blur": JitEntry(_blur_core, _smoke_blur),
+    "life": JitEntry(_life_core, _smoke_life),
+    "heat": JitEntry(_heat_core, _smoke_heat),
+    "sandpile": JitEntry(_sandpile_core, _smoke_sandpile),
+}

@@ -46,7 +46,12 @@ so a killed sweep keeps every completed point, and:
   configuration — hundreds of configurations in seconds, with results
   identical to full runs (work is deterministic).  With ``cache_dir=``
   (or ``$REPRO_WORK_CACHE``) the captured profiles persist on disk and
-  are shared across workers *and* across invocations.
+  are shared across workers *and* across invocations.  On top of the
+  profiles sits the schedule-result memo: the replayed time of each
+  fully-specified point is remembered too, so repeated and resumed
+  points skip even the re-simulation — every row records ``memo``
+  (hit/miss) and the sweep summary tallies ``memo_hits``/
+  ``memo_misses``.
 
 The execution backend is sweepable like any other dimension
 (``easypap_options["--backend "] = ["sim", "threads", "procs"]``; the
@@ -284,6 +289,16 @@ def execute(
     def record(row: dict) -> None:
         append_rows(csv_path, [row])
         rows.append(row)
+        # schedule-result memo telemetry: each row says whether the
+        # memo served it; the executor counters aggregate the tally
+        # (works across executors — serial, pool workers, sockets)
+        memo = row.get("memo", "")
+        if memo == "hit":
+            exec_obj.counters["memo_hits"] = exec_obj.counters.get("memo_hits", 0) + 1
+        elif memo == "miss":
+            exec_obj.counters["memo_misses"] = (
+                exec_obj.counters.get("memo_misses", 0) + 1
+            )
         if verbose:
             shown = (
                 f"time={row['time_us']}us" if row["status"] == "ok"

@@ -20,6 +20,7 @@ import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core import jit
 from repro.core.config import RunConfig
 from repro.core.context import ExecutionContext
 from repro.core.kernel import get_kernel
@@ -105,8 +106,10 @@ def replay_log(
 
 
 #: bump when the persisted profile layout changes; older files are
-#: silently ignored (and re-captured), never misread
-CACHE_FORMAT = 1
+#: silently ignored (and re-captured), never misread.
+#: 2: the execution tier joined the workload key and schedule-result
+#: memo files appeared alongside the profiles
+CACHE_FORMAT = 2
 
 
 @dataclass
@@ -119,14 +122,44 @@ class WorkProfileCache:
     Files are written atomically (tmp + ``os.replace``) and verified
     against their key on load, so a corrupt or stale cache entry can
     only ever cause a re-capture, never a wrong result.
+
+    On top of the profiles sits the **schedule-result memo**: the
+    replayed elapsed time of each fully-specified point — workload key
+    plus ``(threads, schedule, jitter, run_index)`` — is remembered (and
+    disk-persisted next to the profiles as ``memo-*.pkl``), so repeated
+    sweep points, resumed sweeps and identical requests skip even the
+    replay simulation.  A memo hit returns the exact float a fresh
+    replay would produce — the replay is deterministic, that is the
+    whole premise of this module — and the hit/miss tally is exposed in
+    :attr:`counters` (surfaced as sweep telemetry) with the last
+    outcome in :attr:`last_memo` (the ``memo`` CSV column).
     """
 
     cache_dir: str | os.PathLike | None = None
+    #: schedule-result memoization on/off (tests of the raw replay path
+    #: and A/B measurements switch it off)
+    memoize: bool = True
     _cache: dict[tuple, tuple[RegionLog, CostModel]] = field(default_factory=dict)
+    #: workload key -> {(threads, schedule, jitter, run_index): elapsed}
+    _memo: dict[tuple, dict[tuple, float]] = field(default_factory=dict)
+    counters: dict[str, int] = field(
+        default_factory=lambda: {"memo_hits": 0, "memo_misses": 0}
+    )
+    #: outcome of the most recent :meth:`simulate` call: "hit", "miss",
+    #: or "" (memoization disabled)
+    last_memo: str = ""
 
     @staticmethod
     def workload_key(config: RunConfig) -> tuple:
-        """Everything the work profile depends on (NOT threads/schedule)."""
+        """Everything the work profile depends on (NOT threads/schedule).
+
+        Includes the execution tier (fastpath/jit/interpreted): the
+        tiers are bit-identical by construction, but the cache must not
+        *assume* its own correctness proof — a profile captured under a
+        compiled tile body never collides with an interpreted one, so a
+        tier-selection change between sweep resumes can only re-capture,
+        never serve a profile from a different code path.
+        """
         return (
             config.kernel,
             config.variant,
@@ -138,7 +171,14 @@ class WorkProfileCache:
             config.seed,
             config.time_scale,
             config.backend,
+            WorkProfileCache.tier_of(config),
         )
+
+    @staticmethod
+    def tier_of(config: RunConfig) -> str:
+        """The execution tier a capture of ``config`` resolves to (the
+        capture always runs uninstrumented, like :func:`capture_log`)."""
+        return jit.select_tier(config.with_(monitoring=False, trace=False))[0]
 
     def _disk_path(self, key: tuple) -> Path:
         digest = hashlib.sha256(repr((CACHE_FORMAT, key)).encode()).hexdigest()
@@ -182,8 +222,43 @@ class WorkProfileCache:
             self._store_disk(self._disk_path(key), key, profile)
         return profile
 
-    def simulate(self, config: RunConfig) -> float:
-        """Elapsed virtual seconds of ``config`` (captures on first use)."""
+    # -- schedule-result memo ------------------------------------------------
+    def _memo_path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr((CACHE_FORMAT, key)).encode()).hexdigest()
+        return Path(self.cache_dir) / f"memo-{digest[:40]}.pkl"
+
+    def _load_memo_disk(self, key: tuple) -> dict[tuple, float]:
+        try:
+            with self._memo_path(key).open("rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+                return {}
+            return dict(payload["memo"])
+        except Exception:
+            return {}
+
+    def _store_memo_disk(self, key: tuple, memo: dict[tuple, float]) -> None:
+        """Merge-and-replace the on-disk memo for ``key``.
+
+        Concurrent writers merge with what is on disk at write time;
+        a lost update between racing workers costs one extra replay
+        later, never a wrong value (all writers compute the same
+        deterministic floats).
+        """
+        merged = self._load_memo_disk(key)
+        merged.update(memo)
+        path = self._memo_path(key)
+        payload = {"format": CACHE_FORMAT, "key": key, "memo": merged}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh)
+            os.replace(tmp, path)
+        except OSError:  # the memo is an optimization, never fatal
+            tmp.unlink(missing_ok=True)
+
+    def _replay(self, config: RunConfig) -> float:
         from repro.util.rng import make_jitter_rng
 
         log, model = self.profile(config)
@@ -195,3 +270,32 @@ class WorkProfileCache:
             jitter=config.jitter,
             jitter_rng=make_jitter_rng(config.seed, config.run_index),
         )
+
+    def simulate(self, config: RunConfig) -> float:
+        """Elapsed virtual seconds of ``config`` (captures on first use).
+
+        With :attr:`memoize` on (the default), the result is served from
+        the schedule-result memo when the identical point was replayed
+        before — by this instance, another worker sharing ``cache_dir``,
+        or an earlier invocation.
+        """
+        if not self.memoize:
+            self.last_memo = ""
+            return self._replay(config)
+        key = self.workload_key(config)
+        subkey = (config.nthreads, config.schedule, config.jitter, config.run_index)
+        memo = self._memo.get(key)
+        if memo is None:
+            memo = self._load_memo_disk(key) if self.cache_dir is not None else {}
+            self._memo[key] = memo
+        if subkey in memo:
+            self.counters["memo_hits"] += 1
+            self.last_memo = "hit"
+            return memo[subkey]
+        elapsed = self._replay(config)
+        memo[subkey] = elapsed
+        self.counters["memo_misses"] += 1
+        self.last_memo = "miss"
+        if self.cache_dir is not None:
+            self._store_memo_disk(key, memo)
+        return elapsed

@@ -111,7 +111,8 @@ class HeatKernel(Kernel):
             ],
             writes=[("next", tile.x, tile.y, tile.w, tile.h)],
         )
-        delta = jacobi_step_rect(
+        step = ctx.jit_core or jacobi_step_rect
+        delta = step(
             ctx.data["temp"], ctx.data["next"], ctx.data["sources"],
             tile.y, tile.x, tile.h, tile.w,
         )

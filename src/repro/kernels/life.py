@@ -148,7 +148,8 @@ class LifeKernel(Kernel):
             reads=[halo_region("cells", tile.x, tile.y, tile.w, tile.h, ctx.dim)],
             writes=[("next", tile.x, tile.y, tile.w, tile.h)],
         )
-        changed = life_step_rect(
+        step = ctx.jit_core or life_step_rect
+        changed = step(
             ctx.data["cells"], ctx.data["next"], tile.y, tile.x, tile.h, tile.w
         )
         ctx.data["changes"][tile.row, tile.col] = changed > 0
@@ -333,7 +334,8 @@ class LifeKernel(Kernel):
             reads=[halo_region("cells", tile.x, tile.y, tile.w, tile.h, ctx.dim)],
             writes=[("next", tile.x, tile.y, tile.w, tile.h)],
         )
-        changed = life_step_rect(
+        step = ctx.jit_core or life_step_rect
+        changed = step(
             ctx.data["cells"], ctx.data["next"], tile.y - y0 + 1, tile.x, tile.h, tile.w
         )
         ctx.data["changes"][tile.row, tile.col] = changed > 0

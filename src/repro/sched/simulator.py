@@ -17,8 +17,12 @@ dynamic-family policies admit a closed form — per-CPU sequences of
 allocating a single :class:`TaskExec`.  ``np.add.accumulate`` sums
 strictly left-to-right, so the floating-point association matches the
 reference loop exactly; this invariant is enforced by a Hypothesis
-property in ``tests/test_simulator.py``.  Work stealing keeps the event
-loop (its front/back block consumption has no closed form).
+property in ``tests/test_simulator.py``.  Work stealing has no closed
+form, but its event loop is deterministic, so
+:func:`~repro.sched.workstealing.stealing_makespan` replays it with a
+plain free-time array and vectorized chunk folds — no heapq, no
+per-task records, same makespan bit for bit.  Perf mode therefore never
+runs the heapq event loop for *any* schedule policy.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from repro.sched.policies import (
     StaticSchedule,
 )
 from repro.sched.timeline import TaskExec, Timeline
-from repro.sched.workstealing import simulate_stealing
+from repro.sched.workstealing import simulate_stealing, stealing_makespan
 
 __all__ = ["simulate", "simulate_makespan", "SimResult", "ChunkGrab"]
 
@@ -233,8 +237,9 @@ def simulate_makespan(
     concatenation ``[start, dispatch, chunk costs..., dispatch, ...]``;
     dynamic/guided keep the tiny chunk-grab heap (plain floats, same tie
     breaking) but fold each chunk's costs the same closed-form way.
-    ``nonmonotonic:dynamic`` falls back to the work-stealing event loop,
-    skipping only the per-task records.
+    ``nonmonotonic:dynamic`` replays its deterministic event loop
+    without the heap or per-task records
+    (:func:`~repro.sched.workstealing.stealing_makespan`).
     """
     n = len(costs)
     if ncpus < 1:
@@ -242,11 +247,7 @@ def simulate_makespan(
     if n == 0:
         return 0.0
     if isinstance(policy, NonMonotonicDynamic):
-        res = simulate_stealing(
-            costs, policy, ncpus, list(range(n)), model, start_time, {},
-            ChunkGrab, SimResult, record_tasks=False,
-        )
-        return res.makespan
+        return stealing_makespan(costs, policy, ncpus, model, start_time)
     c = np.ascontiguousarray(costs, dtype=np.float64)
     if isinstance(policy, StaticSchedule):
         return _static_makespan(c, policy, ncpus, model, start_time)

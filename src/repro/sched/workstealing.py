@@ -15,11 +15,20 @@ from __future__ import annotations
 import heapq
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.sched.costmodel import CostModel
 from repro.sched.policies import Chunk, NonMonotonicDynamic
 from repro.sched.timeline import TaskExec, Timeline
 
-__all__ = ["simulate_stealing"]
+__all__ = ["simulate_stealing", "stealing_makespan"]
+
+#: same speed knob as simulator._ACCUMULATE_CUTOFF (kept local — the
+#: simulator imports this module, not the other way around): chunks at
+#: least this long are folded with ``np.add.accumulate``, whose strictly
+#: left-to-right accumulation is bit-identical to the sequential
+#: ``t = t + cost`` python-float adds of the event loop
+_ACCUMULATE_CUTOFF = 32
 
 
 class _Block:
@@ -134,3 +143,80 @@ def simulate_stealing(
             makespan = t
         heapq.heappush(heap, (t, cpu))
     return result_cls(timeline, grabs, steals, None if record_tasks else makespan)
+
+
+def stealing_makespan(
+    costs: Sequence[float],
+    policy: NonMonotonicDynamic,
+    ncpus: int,
+    model: CostModel,
+    start_time: float = 0.0,
+) -> float:
+    """The work-stealing makespan without the heapq event loop.
+
+    Work stealing has no *closed form* (which CPU steals next depends on
+    every earlier completion), but the event loop's evolution is fully
+    deterministic, so it can be *replayed* with plain state — a
+    free-time array instead of a heap, vectorized chunk folds instead of
+    per-task bookkeeping — and proven exactly equal to
+    :func:`simulate_stealing`:
+
+    * the heap pops the smallest ``(t, cpu)`` tuple; a linear argmin
+      over still-active CPUs with a strict ``<`` keeps the lowest index
+      on ties — the same order;
+    * a parked CPU (nothing left to steal) is never re-pushed onto the
+      heap; clearing its ``active`` flag is the same exclusion;
+    * chunk execution is ``t = t + costs[i]`` left to right; the
+      ``np.add.accumulate`` fold is strictly left-to-right, hence
+      bit-identical (short chunks just run the python loop).
+
+    This is what :func:`repro.sched.simulator.simulate_makespan`
+    dispatches to, completing perf mode's no-event-loop guarantee for
+    every schedule policy.
+    """
+    n = len(costs)
+    c = np.asarray(costs, dtype=np.float64)
+    blocks = [_Block(b.lo, b.hi) for b in policy.initial_blocks(n, ncpus)]
+    k = policy.chunk
+    free = [start_time] * ncpus
+    active = [True] * ncpus
+    makespan = 0.0
+    done = 0
+
+    def fold(t: float, lo: int, hi: int) -> float:
+        if hi - lo >= _ACCUMULATE_CUTOFF:
+            seg = np.empty(hi - lo + 1)
+            seg[0] = t
+            seg[1:] = c[lo:hi]
+            return float(np.add.accumulate(seg)[-1])
+        for cost in c[lo:hi].tolist():
+            t = t + cost
+        return t
+
+    while done < n:
+        cpu = -1
+        t = 0.0
+        for i in range(ncpus):
+            if active[i] and (cpu < 0 or free[i] < t):
+                cpu = i
+                t = free[i]
+        if cpu < 0:  # pragma: no cover - defensive; cannot happen while done < n
+            break
+        own = blocks[cpu]
+        if own.remaining > 0:
+            t += model.dispatch_overhead
+            chunk = own.take_front(k)
+        else:
+            victim = max(range(ncpus), key=lambda i: (blocks[i].remaining, -i))
+            if blocks[victim].remaining == 0:
+                active[cpu] = False  # parked: never scheduled again
+                continue
+            t += model.steal_overhead
+            amount = max(blocks[victim].remaining // 2, k) if policy.steal_half else k
+            chunk = blocks[victim].take_back(amount)
+        t = fold(t, chunk.lo, chunk.hi)
+        done += chunk.hi - chunk.lo
+        if t > makespan:
+            makespan = t
+        free[cpu] = t
+    return makespan

@@ -1,0 +1,308 @@
+"""Tests for the compiled (numba) tile-body tier and the
+schedule-result memo.
+
+numba is an *optional* dependency: most of these tests run the real
+fallback path (and must pass without numba installed — CI has a leg
+proving exactly that).  The compiled-path plumbing is tested by
+substituting :func:`repro.core.jit._compile` with the identity, so the
+"compiled" body is the same interpreted core the real njit would wrap —
+the dispatch, caching, tier reporting and differential machinery are
+exercised for real, without the dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, config_from_args, parse_args_strict
+from repro.core import jit
+from repro.core.engine import run
+from repro.errors import ConfigError
+from repro.expt.replay import WorkProfileCache
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def forced_jit(monkeypatch):
+    """Make the jit tier resolvable without numba: the "compiler" is
+    the identity, so compiled bodies are the interpreted cores."""
+    jit.reset()
+    monkeypatch.setattr(jit, "_PROBE", jit.JitCapability(True, "forced (test)", "0"))
+    monkeypatch.setattr(jit, "_compile", lambda core: core)
+    yield
+    jit.reset()
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Force the probe to report numba as unavailable."""
+    jit.reset()
+    monkeypatch.setattr(
+        jit, "_PROBE", jit.JitCapability(False, "numba unavailable (test)", "")
+    )
+    yield
+    jit.reset()
+
+
+# ---------------------------------------------------------------------------
+# probe / resolve / tier selection
+# ---------------------------------------------------------------------------
+
+class TestProbe:
+    def test_probe_reports_numba_availability(self):
+        jit.reset()
+        cap = jit.probe()
+        assert isinstance(cap.available, bool)
+        # the reason names the dependency either way (CI asserts on it)
+        assert cap.available or "numba" in cap.reason
+
+    def test_probe_is_cached(self):
+        jit.reset()
+        assert jit.probe() is jit.probe()
+
+    def test_refresh_reprobes(self):
+        first = jit.probe()
+        assert jit.probe(refresh=True) == first
+
+    def test_reset_clears_compiled_bodies(self, forced_jit):
+        fn, _ = jit.compiled_body("mandel")
+        assert fn is not None
+        jit.reset()
+        assert not jit._COMPILED
+
+
+class TestJitEnabled:
+    def test_config_off_wins(self):
+        cfg = make_config(jit="off")
+        enabled, reason = jit.jit_enabled(cfg)
+        assert not enabled and "--no-jit" in reason
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(jit.NO_JIT_ENV, "1")
+        enabled, reason = jit.jit_enabled(make_config())
+        assert not enabled and jit.NO_JIT_ENV in reason
+
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(jit.NO_JIT_ENV, raising=False)
+        enabled, _ = jit.jit_enabled(make_config())
+        assert enabled
+
+
+class TestResolve:
+    def test_no_numba_resolves_to_fallback(self, no_numba):
+        core, reason = jit.resolve(make_config())
+        assert core is None
+        assert "numba" in reason
+
+    def test_forced_resolves_to_core(self, forced_jit):
+        core, _ = jit.resolve(make_config())
+        assert core is jit.JIT_BODIES["mandel"].core
+
+    def test_unknown_kernel_has_no_body(self, forced_jit):
+        core, reason = jit.resolve(make_config(kernel="spin", variant="seq"))
+        assert core is None
+        assert "no JIT body" in reason
+
+    def test_compile_failure_is_cached_not_fatal(self, monkeypatch):
+        jit.reset()
+        calls = []
+
+        def broken(core):
+            calls.append(core)
+            raise RuntimeError("typing error")
+
+        monkeypatch.setattr(
+            jit, "_PROBE", jit.JitCapability(True, "forced (test)", "0")
+        )
+        monkeypatch.setattr(jit, "_compile", broken)
+        fn, reason = jit.compiled_body("mandel")
+        assert fn is None and "typing error" in reason
+        fn2, _ = jit.compiled_body("mandel")
+        assert fn2 is None
+        assert len(calls) == 1  # the failure is cached too
+        jit.reset()
+
+    def test_smoke_failure_rejects_body(self, monkeypatch):
+        jit.reset()
+        monkeypatch.setattr(
+            jit, "_PROBE", jit.JitCapability(True, "forced (test)", "0")
+        )
+        # a "compiler" that returns a wrong-answer body: the post-compile
+        # smoke test must reject it and fall back
+        monkeypatch.setattr(jit, "_compile", lambda core: (lambda *a: 0))
+        fn, _reason = jit.compiled_body("life")
+        assert fn is None
+        jit.reset()
+
+
+class TestSelectTier:
+    def test_sim_defaults_to_fastpath(self):
+        tier, _ = jit.select_tier(make_config())
+        assert tier == "fastpath"
+
+    def test_fastpath_off_without_numba(self, no_numba):
+        tier, reason = jit.select_tier(make_config(fastpath="off"))
+        assert tier == "interpreted"
+        assert "numba" in reason
+
+    def test_fastpath_off_with_jit(self, forced_jit):
+        tier, _ = jit.select_tier(make_config(fastpath="off"))
+        assert tier == "jit"
+
+    def test_monitoring_declines_fastpath(self, forced_jit):
+        tier, _ = jit.select_tier(make_config(monitoring=True))
+        assert tier == "jit"
+
+    def test_real_backend_never_fastpath(self, no_numba):
+        tier, _ = jit.select_tier(make_config(backend="threads"))
+        assert tier == "interpreted"
+
+
+# ---------------------------------------------------------------------------
+# config / CLI plumbing
+# ---------------------------------------------------------------------------
+
+class TestConfigAndCli:
+    def test_default_is_auto(self):
+        assert make_config().jit == "auto"
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ConfigError):
+            make_config(jit="maybe")
+
+    def test_no_jit_flag(self):
+        parser = build_parser()
+        args = parse_args_strict(["-k", "mandel", "--no-jit"], parser)
+        assert config_from_args(args).jit == "off"
+
+    def test_flag_absent_means_auto(self):
+        parser = build_parser()
+        args = parse_args_strict(["-k", "mandel"], parser)
+        assert config_from_args(args).jit == "auto"
+
+
+# ---------------------------------------------------------------------------
+# differential: jit tier vs interpreted tier, bit-identical
+# ---------------------------------------------------------------------------
+
+#: kernels with a registered compiled body; omp_tiled exercises the
+#: per-tile path on all of them
+DIFF_KERNELS = sorted(jit.JIT_BODIES)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("kernel", DIFF_KERNELS)
+    def test_jit_matches_interpreted_bitwise(self, kernel, forced_jit):
+        """The compiled body must be bit-identical to the reference:
+        same image bytes, same virtual clock, for every jit kernel."""
+        base = make_config(
+            kernel=kernel, variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
+            iterations=2, fastpath="off",
+        )
+        jit_res = run(base)
+        ref_res = run(base.with_(jit="off"))
+        assert jit_res.jit_tier == "jit"
+        assert ref_res.jit_tier == "interpreted"
+        assert np.array_equal(jit_res.image, ref_res.image)
+        assert jit_res.virtual_time == ref_res.virtual_time
+
+    def test_fastpath_run_reports_fastpath(self):
+        res = run(make_config(iterations=1))
+        assert res.jit_tier == "fastpath"
+
+    def test_no_jit_env_forces_fallback(self, forced_jit, monkeypatch):
+        monkeypatch.setenv(jit.NO_JIT_ENV, "1")
+        res = run(make_config(iterations=1, fastpath="off"))
+        assert res.jit_tier == "interpreted"
+
+
+# ---------------------------------------------------------------------------
+# the schedule-result memo
+# ---------------------------------------------------------------------------
+
+class TestMemo:
+    def test_hit_equals_fresh_replay(self):
+        cfg = make_config(iterations=2)
+        cache = WorkProfileCache()
+        first = cache.simulate(cfg)
+        assert cache.last_memo == "miss"
+        again = cache.simulate(cfg)
+        assert cache.last_memo == "hit"
+        fresh = WorkProfileCache(memoize=False).simulate(cfg)
+        assert first == again == fresh
+        assert cache.counters == {"memo_hits": 1, "memo_misses": 1}
+
+    def test_memoize_off_never_counts(self):
+        cfg = make_config(iterations=1)
+        cache = WorkProfileCache(memoize=False)
+        cache.simulate(cfg)
+        cache.simulate(cfg)
+        assert cache.last_memo == ""
+        assert cache.counters == {"memo_hits": 0, "memo_misses": 0}
+
+    def test_distinct_points_do_not_collide(self):
+        cache = WorkProfileCache()
+        base = make_config(iterations=1)
+        t2 = cache.simulate(base.with_(nthreads=2))
+        t8 = cache.simulate(base.with_(nthreads=8))
+        assert cache.counters["memo_misses"] == 2
+        assert t2 != t8  # different thread counts really were replayed
+
+    def test_memo_persists_across_instances(self, tmp_path):
+        cfg = make_config(iterations=2, schedule="nonmonotonic:dynamic")
+        first = WorkProfileCache(cache_dir=tmp_path)
+        t1 = first.simulate(cfg)
+        warm = WorkProfileCache(cache_dir=tmp_path)
+        t2 = warm.simulate(cfg)
+        assert warm.counters == {"memo_hits": 1, "memo_misses": 0}
+        assert t1 == t2
+
+    def test_corrupt_memo_file_recomputes(self, tmp_path):
+        cfg = make_config(iterations=1)
+        cache = WorkProfileCache(cache_dir=tmp_path)
+        expected = cache.simulate(cfg)
+        for memo_file in tmp_path.glob("memo-*.pkl"):
+            memo_file.write_bytes(b"garbage")
+        cold = WorkProfileCache(cache_dir=tmp_path)
+        assert cold.simulate(cfg) == expected
+        assert cold.counters["memo_misses"] == 1
+
+    def test_workload_key_includes_tier(self, forced_jit):
+        off = make_config(fastpath="off")
+        assert WorkProfileCache.tier_of(off) == "jit"
+        assert WorkProfileCache.workload_key(off) != \
+            WorkProfileCache.workload_key(off.with_(jit="off"))
+
+    def test_tier_of_ignores_instrumentation(self):
+        # capture always runs uninstrumented, so the key must too
+        cfg = make_config()
+        assert WorkProfileCache.tier_of(cfg) == \
+            WorkProfileCache.tier_of(cfg.with_(monitoring=True))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nthreads=st.integers(min_value=1, max_value=6),
+    schedule=st.sampled_from([
+        "static", "dynamic", "dynamic,3", "guided",
+        "nonmonotonic:dynamic", "nonmonotonic:dynamic,2",
+    ]),
+    run_index=st.integers(min_value=0, max_value=2),
+)
+def test_memoized_equals_fresh_for_every_schedule(nthreads, schedule, run_index):
+    """Property: for every schedule family — including work stealing,
+    which perf mode now replays closed-form — the memoized elapsed time
+    equals a fresh replay of the same point, exactly."""
+    cfg = make_config(
+        dim=32, tile_w=8, tile_h=8, iterations=1,
+        nthreads=nthreads, schedule=schedule, run_index=run_index,
+    )
+    memo_cache = WorkProfileCache()
+    first = memo_cache.simulate(cfg)
+    hit = memo_cache.simulate(cfg)
+    fresh = WorkProfileCache(memoize=False).simulate(cfg)
+    assert first == hit == fresh
+    assert memo_cache.counters["memo_hits"] >= 1

@@ -26,6 +26,8 @@ ALL_POLICIES = [
     GuidedSchedule(2),
     NonMonotonicDynamic(1),
     NonMonotonicDynamic(2),
+    NonMonotonicDynamic(1, steal_half=True),
+    NonMonotonicDynamic(3, steal_half=True),
 ]
 
 
@@ -240,6 +242,38 @@ def test_closed_form_exact_across_magnitudes(costs, ncpus, policy_i):
 
 def test_closed_form_empty_costs():
     assert simulate_makespan([], StaticSchedule(), 4, model=ZERO) == 0.0
+
+
+class TestStealingClosedForm:
+    """The deterministic replay of work stealing (no heapq event loop)."""
+
+    def test_direct_equality_with_overheads(self):
+        from repro.sched.workstealing import stealing_makespan
+
+        model = CostModel(seconds_per_unit=1.0, dispatch_overhead=0.25,
+                          steal_overhead=0.5, fork_join_overhead=0.0)
+        costs = [5.0] * 4 + [0.1] * 29 + [2.0] * 8
+        for policy in (NonMonotonicDynamic(1), NonMonotonicDynamic(2),
+                       NonMonotonicDynamic(1, steal_half=True)):
+            for ncpus in (1, 2, 3, 7):
+                full = simulate(costs, policy, ncpus, model=model,
+                                start_time=3.25)
+                fast = stealing_makespan(costs, policy, ncpus, model,
+                                         start_time=3.25)
+                assert fast == full.timeline.makespan
+
+    def test_makespan_dispatch_avoids_event_loop(self, monkeypatch):
+        """simulate_makespan must route stealing policies through the
+        closed form — perf mode never pays for the heapq event loop."""
+        import repro.sched.simulator as simulator
+
+        def boom(*a, **k):  # pragma: no cover - would mean a regression
+            raise AssertionError("perf mode entered the event loop")
+
+        monkeypatch.setattr(simulator, "simulate_stealing", boom)
+        got = simulate_makespan([1.0, 2.0, 3.0], NonMonotonicDynamic(1), 2,
+                                model=ZERO)
+        assert got == pytest.approx(3.0)
 
 
 def test_closed_form_rejects_zero_cpus():
