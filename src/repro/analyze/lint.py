@@ -101,15 +101,38 @@ def partition_findings(trace: Trace, *, lazy: bool = False) -> list[Finding]:
     dim = trace.meta.dim
     if dim <= 0:
         return []
+    dim_y = int(trace.meta.extra.get("dim_y", dim)) or dim
     findings: list[Finding] = []
     for region in tasks_by_region(trace):
         tiled = [t for t in region.tasks if t.event.has_tile]
         if not tiled or len(tiled) != len(region.tasks):
             continue
-        cov = np.zeros((dim, dim), dtype=np.int32)
+        deps_domain = str(trace.meta.extra.get("domain", "grid")) == "wavefront"
+        ordered = region.rmode == "dag" or (
+            deps_domain and region.rmode == "seq"
+        )
+        cov = np.zeros((dim_y, dim), dtype=np.int32)
         for node in tiled:
             e = node.event
             cov[e.y : e.y + e.h, e.x : e.x + e.w] += 1
+        if ordered:
+            # dependency-ordered regions (wavefront domains, task DAGs)
+            # and sequential loops over dependency-carrying domains
+            # legitimately revisit blocks — ordered re-writes are the
+            # whole point; concurrent overlap is the race detector's
+            # job.  Only a coverage gap is worth flagging here.
+            if not lazy and (cov == 0).any():
+                y, x = map(int, np.argwhere(cov == 0)[0])
+                findings.append(
+                    Finding(
+                        "warning",
+                        "partition-gap",
+                        f"region {region.region} (iteration {region.iteration}): "
+                        f"pixel (x={x}, y={y}) is covered by no tile — the "
+                        "partition misses parts of the image",
+                    )
+                )
+            continue
         if (cov > 1).any():
             y, x = map(int, np.argwhere(cov > 1)[0])
             pair = [n for n in tiled

@@ -134,8 +134,12 @@ def _region_races(region: RegionTasks, reports: list[RaceReport]) -> int:
     index: dict[str, dict[tuple, list]] = defaultdict(lambda: defaultdict(list))
     for pos, node in enumerate(tasks):
         for is_write, regs in ((False, node.reads), (True, node.writes)):
-            for buf, x, y, w, h in regs:
-                entry = ((x, y, w, h), pos, is_write)
+            for r in regs:
+                buf, x, y, w, h = r[:5]
+                # optional (z, d) depth extent of 3D regions; 2D regions
+                # conservatively span every plane (see regions_overlap)
+                zext = tuple(r[5:7]) or None
+                entry = ((x, y, w, h), pos, is_write, zext)
                 buckets = index[buf]
                 for cell in _cells(x, y, w, h):
                     buckets[cell].append(entry)
@@ -144,11 +148,18 @@ def _region_races(region: RegionTasks, reports: list[RaceReport]) -> int:
     for buf, buckets in index.items():
         for entries in buckets.values():
             for i in range(len(entries)):
-                rect_i, pos_i, wr_i = entries[i]
+                rect_i, pos_i, wr_i, z_i = entries[i]
                 for j in range(i + 1, len(entries)):
-                    rect_j, pos_j, wr_j = entries[j]
+                    rect_j, pos_j, wr_j, z_j = entries[j]
                     if pos_i == pos_j or not (wr_i or wr_j):
                         continue
+                    if (
+                        z_i is not None
+                        and z_j is not None
+                        and min(z_i[0] + z_i[1], z_j[0] + z_j[1])
+                        <= max(z_i[0], z_j[0])
+                    ):
+                        continue  # disjoint depth ranges: no 3D overlap
                     key = (min(pos_i, pos_j), max(pos_i, pos_j), buf)
                     if key in seen:
                         continue

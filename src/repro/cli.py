@@ -26,7 +26,7 @@ import sys
 from contextlib import redirect_stderr, redirect_stdout
 from pathlib import Path
 
-from repro.core.config import BACKENDS, MPI_BACKENDS, RunConfig
+from repro.core.config import BACKENDS, DOMAINS, MPI_BACKENDS, RunConfig
 from repro.core.engine import run
 from repro.core.kernel import get_kernel, list_kernels, load_kernel_module
 from repro.errors import ConfigError, EasypapError
@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", "--kernel", default="none", help="kernel name (see --list-kernels)")
     p.add_argument("-v", "--variant", default="seq", help="variant name (see --list-variants)")
     p.add_argument("-s", "--size", type=int, default=None, metavar="DIM", help="image side length")
+    p.add_argument("-sy", "--size-y", type=int, default=None, metavar="DIM",
+                   help="image height (defaults to --size: square)")
+    p.add_argument("--depth", type=int, default=None, metavar="DIM",
+                   help="volume depth (domain slab3d; defaults to --size)")
+    p.add_argument("--domain", choices=DOMAINS, default=None,
+                   help="work domain: grid (default), wavefront (task DAG), "
+                   "quadtree (adaptive tiling), slab3d (3D slabs)")
     p.add_argument("-ts", "--tile-size", type=int, default=None, help="square tile side")
     p.add_argument("-g", "--grain", type=int, default=None, help="alias for --tile-size")
     p.add_argument("-tw", "--tile-width", type=int, default=None)
@@ -186,6 +193,15 @@ def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunCo
     if tile_h is None:
         tile_h = min(RunConfig.tile_h, dim)
     mpi_np = parse_mpirun_args(args.mpirun) if args.mpirun else 0
+    domain = getattr(args, "domain", None)
+    if domain is None:
+        # resolve the kernel's declared domain *before* validation, so
+        # geometry knobs (--depth, square wavefront blocks) are checked
+        # against the domain the run will actually use
+        try:
+            domain = get_kernel(args.kernel).domain_for(args.variant)
+        except EasypapError:
+            domain = "grid"  # unknown kernel: let the run path report it
     return RunConfig(
         kernel=args.kernel,
         variant=args.variant,
@@ -210,6 +226,9 @@ def config_from_args(args: argparse.Namespace, env: dict | None = None) -> RunCo
         run_index=args.run_index,
         fastpath="off" if getattr(args, "no_fastpath", False) else "auto",
         jit="off" if getattr(args, "no_jit", False) else "auto",
+        domain=domain,
+        dim_y=getattr(args, "size_y", None) or 0,
+        dim_z=getattr(args, "depth", None) or 0,
     )
 
 

@@ -14,8 +14,11 @@ slot is *thread-local* — one slot per rank thread.
 
 A footprint region is the 5-tuple ``(buf, x, y, w, h)``: a named buffer
 (``"cur"``, ``"next"``, or any kernel-chosen name) and a pixel
-rectangle.  :class:`Footprint` bundles the read and write regions of one
-task and is what ends up attached to trace events.
+rectangle.  3D workloads (slab-decomposed stencils) extend it to the
+7-tuple ``(buf, x, y, w, h, z, d)`` with a voxel depth range; plain 2D
+regions are implicitly depth ``(0, 1)``.  :class:`Footprint` bundles the
+read and write regions of one task and is what ends up attached to
+trace events.
 """
 
 from __future__ import annotations
@@ -27,6 +30,8 @@ from typing import Iterable, Iterator, Sequence
 
 __all__ = [
     "Region",
+    "region_depth",
+    "regions_overlap",
     "Footprint",
     "FootprintCollector",
     "collect",
@@ -35,16 +40,32 @@ __all__ = [
     "note_write",
 ]
 
-#: a footprint region: (buffer name, x, y, w, h)
-Region = tuple[str, int, int, int, int]
+#: a footprint region: (buffer name, x, y, w, h) — optionally extended
+#: with a depth extent (buffer name, x, y, w, h, z, d)
+Region = tuple
+
+
+def region_depth(r: Region) -> tuple[int, int]:
+    """The (z, d) depth extent of a region (2D regions are depth 0..1)."""
+    return (r[5], r[6]) if len(r) >= 7 else (0, 1)
 
 
 def regions_overlap(a: Region, b: Region) -> tuple[int, int, int, int] | None:
-    """Intersection rectangle of two regions of the same buffer, or None."""
+    """Intersection rectangle of two regions of the same buffer, or None.
+
+    Depth-aware: two 3D regions whose z ranges are disjoint do not
+    overlap; when only one side carries a depth extent the comparison is
+    conservative (the 2D region is taken to span every plane).
+    """
     if a[0] != b[0]:
         return None
-    ax, ay, aw, ah = a[1:]
-    bx, by, bw, bh = b[1:]
+    if len(a) >= 7 and len(b) >= 7:
+        az, ad = a[5], a[6]
+        bz, bd = b[5], b[6]
+        if min(az + ad, bz + bd) <= max(az, bz):
+            return None
+    ax, ay, aw, ah = a[1:5]
+    bx, by, bw, bh = b[1:5]
     x0, y0 = max(ax, bx), max(ay, by)
     x1, y1 = min(ax + aw, bx + bw), min(ay + ah, by + bh)
     if x0 >= x1 or y0 >= y1:
@@ -69,10 +90,13 @@ class Footprint:
     def from_lists(
         cls, reads: Iterable[Sequence] = (), writes: Iterable[Sequence] = ()
     ) -> "Footprint":
-        """Build from JSON-ish lists (``[buf, x, y, w, h]`` entries)."""
+        """Build from JSON-ish lists (``[buf, x, y, w, h]`` entries,
+        optionally with a trailing ``z, d`` depth extent)."""
 
         def norm(rs):
-            return tuple((str(r[0]), int(r[1]), int(r[2]), int(r[3]), int(r[4])) for r in rs)
+            return tuple(
+                (str(r[0]),) + tuple(int(v) for v in r[1:7]) for r in rs
+            )
 
         return cls(reads=norm(reads), writes=norm(writes))
 
@@ -92,13 +116,25 @@ class FootprintCollector:
         self._reads: dict[Region, None] = {}
         self._writes: dict[Region, None] = {}
 
-    def read(self, buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
-        if w > 0 and h > 0:
-            self._reads[(buf, int(x), int(y), int(w), int(h))] = None
+    def read(
+        self, buf: str, x: int, y: int, w: int = 1, h: int = 1,
+        z: int = 0, d: int = 1,
+    ) -> None:
+        if w > 0 and h > 0 and d > 0:
+            key = (buf, int(x), int(y), int(w), int(h))
+            if (z, d) != (0, 1):
+                key += (int(z), int(d))
+            self._reads[key] = None
 
-    def write(self, buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
-        if w > 0 and h > 0:
-            self._writes[(buf, int(x), int(y), int(w), int(h))] = None
+    def write(
+        self, buf: str, x: int, y: int, w: int = 1, h: int = 1,
+        z: int = 0, d: int = 1,
+    ) -> None:
+        if w > 0 and h > 0 and d > 0:
+            key = (buf, int(x), int(y), int(w), int(h))
+            if (z, d) != (0, 1):
+                key += (int(z), int(d))
+            self._writes[key] = None
 
     def freeze(self) -> Footprint:
         return Footprint(reads=tuple(self._reads), writes=tuple(self._writes))
@@ -116,16 +152,20 @@ def collecting() -> bool:
     return _current() is not None
 
 
-def note_read(buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
+def note_read(
+    buf: str, x: int, y: int, w: int = 1, h: int = 1, z: int = 0, d: int = 1
+) -> None:
     col = _current()
     if col is not None:
-        col.read(buf, x, y, w, h)
+        col.read(buf, x, y, w, h, z, d)
 
 
-def note_write(buf: str, x: int, y: int, w: int = 1, h: int = 1) -> None:
+def note_write(
+    buf: str, x: int, y: int, w: int = 1, h: int = 1, z: int = 0, d: int = 1
+) -> None:
     col = _current()
     if col is not None:
-        col.write(buf, x, y, w, h)
+        col.write(buf, x, y, w, h, z, d)
 
 
 @contextmanager

@@ -16,7 +16,10 @@ from repro.errors import ConfigError
 from repro.omp.icv import DEFAULT_NUM_THREADS
 from repro.sched.policies import SchedulePolicy, parse_schedule
 
-__all__ = ["RunConfig", "BACKENDS", "MPI_BACKENDS", "DEFAULT_DIM", "DEFAULT_TILE"]
+__all__ = [
+    "RunConfig", "BACKENDS", "MPI_BACKENDS", "DOMAINS",
+    "DEFAULT_DIM", "DEFAULT_TILE",
+]
 
 DEFAULT_DIM = 256
 DEFAULT_TILE = 32
@@ -35,6 +38,13 @@ BACKENDS = ("sim", "threads", "procs")
 #: ranks as threads of one interpreter (deterministic, cheap — the
 #: substrate the test suite pins itself to).
 MPI_BACKENDS = ("procs", "inproc")
+
+#: the work-domain kinds (see :mod:`repro.core.domains`): ``grid`` is
+#: the classic EASYPAP tile grid, ``wavefront`` a blocked-LU task DAG,
+#: ``quadtree`` a center-refined adaptive tiling, ``slab3d`` a
+#: z-slab decomposition of a 3D volume.  Re-exported here so config
+#: validation and the ``--domain`` CLI choices share one tuple.
+DOMAINS = ("grid", "wavefront", "quadtree", "slab3d")
 
 
 @dataclass
@@ -65,6 +75,9 @@ class RunConfig:
     run_index: int = 0  # repetition number (seeds the jitter stream)
     fastpath: str = "auto"  # "auto": whole-frame perf path when possible; "off": reference
     jit: str = "auto"  # "auto": compiled tile bodies when numba allows; "off": reference
+    domain: str = "grid"  # work domain kind, one of DOMAINS
+    dim_y: int = 0  # image height; 0 = square (dim x dim)
+    dim_z: int = 0  # volume depth (slab3d only); 0 = dim
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -78,9 +91,47 @@ class RunConfig:
             raise ConfigError(
                 f"tile size must be positive, got {self.tile_w}x{self.tile_h}"
             )
-        if self.tile_w > self.dim or self.tile_h > self.dim:
+        if self.dim_y < 0:
+            raise ConfigError(f"--size-y must be >= 0, got {self.dim_y}")
+        if self.dim_z < 0:
+            raise ConfigError(f"--depth must be >= 0, got {self.dim_z}")
+        if self.domain not in DOMAINS:
             raise ConfigError(
-                f"tile {self.tile_w}x{self.tile_h} larger than image ({self.dim})"
+                f"unknown work domain {self.domain!r} "
+                f"(valid: {', '.join(DOMAINS)})"
+            )
+        height = self.dim_y or self.dim
+        if self.tile_w > self.dim:
+            raise ConfigError(
+                f"tile {self.tile_w}x{self.tile_h} larger than image "
+                f"({self.dim}x{height})"
+            )
+        # under slab3d, tile_h is the slab depth (checked against dim_z below)
+        if self.domain != "slab3d" and self.tile_h > height:
+            raise ConfigError(
+                f"tile {self.tile_w}x{self.tile_h} larger than image "
+                f"({self.dim}x{height})"
+            )
+        if self.domain == "wavefront":
+            if self.dim_y not in (0, self.dim):
+                raise ConfigError(
+                    "domain 'wavefront' factorizes a square matrix; "
+                    f"--size-y {self.dim_y} != --size {self.dim}"
+                )
+            if self.tile_w != self.tile_h:
+                raise ConfigError(
+                    "domain 'wavefront' uses square blocks; got tile "
+                    f"{self.tile_w}x{self.tile_h}"
+                )
+        if self.domain == "slab3d":
+            depth = self.dim_z or self.dim
+            if self.tile_h > depth:
+                raise ConfigError(
+                    f"slab depth {self.tile_h} larger than volume depth {depth}"
+                )
+        elif self.dim_z:
+            raise ConfigError(
+                f"--depth only applies to domain 'slab3d', not {self.domain!r}"
             )
         if self.iterations < 1:
             raise ConfigError(f"--iterations must be >= 1, got {self.iterations}")
@@ -140,6 +191,7 @@ class RunConfig:
             "backend": self.backend,
             "arg": self.arg or "",
             "np": self.mpi_np,
+            "domain": self.domain,
         }
 
     def label(self) -> str:
@@ -152,6 +204,8 @@ class RunConfig:
             f"threads={self.nthreads}",
             f"schedule={self.schedule}",
         ]
+        if self.domain != "grid":
+            parts.insert(2, f"domain={self.domain}")
         if self.mpi_np:
             parts.append(f"np={self.mpi_np}")
         return " ".join(parts)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core import access
 from repro.core import jit as _jit
 from repro.core.config import RunConfig
+from repro.core.domains import make_domain
 from repro.core.image import Img2D
 from repro.core.tiling import Tile, TileGrid
 from repro.monitor.activity import Monitor
@@ -47,6 +48,9 @@ class ExecutionContext:
     def __init__(self, config: RunConfig, *, model: CostModel | None = None):
         self.config = config
         self.dim = config.dim
+        self.dim_x = config.dim
+        self.dim_y = config.dim_y or config.dim
+        self.dim_z = config.dim_z or config.dim if config.domain == "slab3d" else 1
         #: shared-memory state of the ``procs`` backend (None elsewhere)
         self.arena = None
         self.img_blocks: tuple[str, str] | None = None
@@ -55,14 +59,25 @@ class ExecutionContext:
             from repro.omp import procs as _procs
 
             self.arena = _procs.SharedArena()
-            name_cur, cur = self.arena.alloc((config.dim, config.dim), np.uint32)
-            name_nxt, nxt = self.arena.alloc((config.dim, config.dim), np.uint32)
+            name_cur, cur = self.arena.alloc((self.dim_y, self.dim_x), np.uint32)
+            name_nxt, nxt = self.arena.alloc((self.dim_y, self.dim_x), np.uint32)
             self.img = Img2D.from_buffers(cur, nxt)
             self.img_blocks = (name_cur, name_nxt)
             self.procs_session = _procs.new_session_id()
         else:
-            self.img = Img2D(config.dim)
-        self.grid = TileGrid(config.dim, config.tile_w, config.tile_h)
+            self.img = Img2D(config.dim, dim_y=self.dim_y)
+        #: the work domain scheduled regions iterate by default; the
+        #: classic tile grid is just its ``kind == "grid"`` case
+        self.domain = make_domain(config)
+        #: a plane tile grid is always available (thumbnails, monitors,
+        #: whole-frame fast path); for grid domains it *is* the domain
+        if isinstance(self.domain, TileGrid):
+            self.grid = self.domain
+        else:
+            self.grid = TileGrid(
+                config.dim, config.tile_w,
+                min(config.tile_h, self.dim_y), dim_y=self.dim_y,
+            )
         self.nthreads = config.nthreads
         self.policy: SchedulePolicy = config.policy()
         base_model = model if model is not None else DEFAULT_COST_MODEL
@@ -128,7 +143,7 @@ class ExecutionContext:
         self._consumers_attached = True
         config = self.config
         if config.monitoring:
-            self._monitor = self._bus.attach(Monitor(config.nthreads, self.grid))
+            self._monitor = self._bus.attach(Monitor(config.nthreads, self.domain))
         if config.trace:
             self._tracer = self._bus.attach(
                 TraceRecorder(
@@ -150,6 +165,16 @@ class ExecutionContext:
                 # trace so EASYVIEW labels the x-axis honestly (sim
                 # traces stay byte-identical to the golden fixtures)
                 self._bus.annotate(clock="wall", backend=config.backend)
+            if config.domain != "grid":
+                # non-default domains stamp their kind and projection so
+                # EASYVIEW picks the right rendering (Gantt waves, depth
+                # bands); grid traces carry no extra keys, keeping the
+                # golden fixtures byte-identical
+                self._bus.annotate(
+                    domain=config.domain, projection=self.domain.projection(),
+                )
+            if self.dim_y != config.dim:
+                self._bus.annotate(dim_y=self.dim_y)
 
     @property
     def bus(self) -> TelemetryBus:
@@ -286,15 +311,17 @@ class ExecutionContext:
 
         For kernels that bypass the :class:`Img2D` accessors (raw NumPy
         slicing, private ``ctx.data`` arrays): each entry is a
-        ``(buf, x, y, w, h)`` region.  A no-op unless footprint
-        collection is active, so hot paths pay one branch.
+        ``(buf, x, y, w, h)`` region, optionally extended with a depth
+        extent ``(buf, x, y, w, h, z, d)`` for 3D volumes.  A no-op
+        unless footprint collection is active, so hot paths pay one
+        branch.
         """
         if not access.collecting():
             return
-        for buf, x, y, w, h in reads:
-            access.note_read(buf, x, y, w, h)
-        for buf, x, y, w, h in writes:
-            access.note_write(buf, x, y, w, h)
+        for r in reads:
+            access.note_read(*r)
+        for r in writes:
+            access.note_write(*r)
 
     def perturb_costs(self, costs: list[float]) -> list[float]:
         """Apply the run's system-noise model to per-item costs (no-op
@@ -399,7 +426,7 @@ class ExecutionContext:
         given and :meth:`fastpath_active` holds, the per-item bodies are
         replaced by one batch call (see :mod:`repro.omp.parallel`).
         """
-        items = list(self.grid) if items is None else list(items)
+        items = list(self.domain) if items is None else list(items)
         if frame is not None and self.fastpath_active():
             works = frame(self, items)
             if works is not None:

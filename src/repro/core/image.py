@@ -45,24 +45,32 @@ def alpha_of(pixel) -> int:
 
 
 class Img2D:
-    """A pair of square ``uint32`` images with O(1) buffer swap.
+    """A pair of rectangular ``uint32`` images with O(1) buffer swap.
 
     Attributes
     ----------
     dim:
-        Side length in pixels (EASYPAP images are square).
+        Width in pixels (the legacy name: EASYPAP images are usually
+        square, so ``dim`` doubled as both sides).  ``dim_x`` is an
+        explicit alias; ``dim_y`` is the height and defaults to ``dim``.
     cur, nxt:
-        The current and next NumPy buffers, shape ``(dim, dim)``.
+        The current and next NumPy buffers, shape ``(dim_y, dim_x)``.
     """
 
-    __slots__ = ("dim", "cur", "nxt", "swaps")
+    __slots__ = ("dim", "dim_x", "dim_y", "cur", "nxt", "swaps")
 
-    def __init__(self, dim: int, fill: int = 0):
-        if dim <= 0:
-            raise ConfigError(f"image dimension must be positive, got {dim}")
+    def __init__(self, dim: int, fill: int = 0, *, dim_y: int | None = None):
+        if dim_y is None:
+            dim_y = dim
+        if dim <= 0 or dim_y <= 0:
+            raise ConfigError(
+                f"image dimensions must be positive, got {dim}x{dim_y}"
+            )
         self.dim = int(dim)
-        self.cur = np.full((dim, dim), fill, dtype=np.uint32)
-        self.nxt = np.full((dim, dim), fill, dtype=np.uint32)
+        self.dim_x = int(dim)
+        self.dim_y = int(dim_y)
+        self.cur = np.full((dim_y, dim), fill, dtype=np.uint32)
+        self.nxt = np.full((dim_y, dim), fill, dtype=np.uint32)
         self.swaps = 0
 
     @classmethod
@@ -70,16 +78,18 @@ class Img2D:
         """Wrap caller-owned buffers (e.g. shared-memory blocks of the
         ``procs`` backend) instead of allocating — same API, so kernels
         and the engine never see the difference.  Both buffers must be
-        square ``uint32`` arrays of the same shape."""
-        if cur.shape != nxt.shape or cur.ndim != 2 or cur.shape[0] != cur.shape[1]:
+        congruent 2D ``uint32`` arrays."""
+        if cur.shape != nxt.shape or cur.ndim != 2:
             raise ConfigError(
-                f"image buffers must be square and congruent, got "
+                f"image buffers must be 2D and congruent, got "
                 f"{cur.shape} / {nxt.shape}"
             )
         if cur.dtype != np.uint32 or nxt.dtype != np.uint32:
             raise ConfigError("image buffers must be uint32")
         img = cls.__new__(cls)
-        img.dim = int(cur.shape[0])
+        img.dim = int(cur.shape[1])
+        img.dim_x = int(cur.shape[1])
+        img.dim_y = int(cur.shape[0])
         img.cur = cur
         img.nxt = nxt
         img.swaps = 0
@@ -128,10 +138,10 @@ class Img2D:
             access.note_write(buf, x, y, w, h)
 
     def _check_rect(self, y: int, x: int, h: int, w: int) -> None:
-        if y < 0 or x < 0 or h < 0 or w < 0 or y + h > self.dim or x + w > self.dim:
+        if y < 0 or x < 0 or h < 0 or w < 0 or y + h > self.dim_y or x + w > self.dim_x:
             raise ConfigError(
                 f"rectangle (x={x}, y={y}, w={w}, h={h}) out of bounds "
-                f"for a {self.dim}x{self.dim} image"
+                f"for a {self.dim_x}x{self.dim_y} image"
             )
 
     # -- lifecycle ----------------------------------------------------------
@@ -151,9 +161,10 @@ class Img2D:
 
     def load(self, array: np.ndarray) -> None:
         """Load pixel data into the current image (shape must match)."""
-        if array.shape != (self.dim, self.dim):
+        if array.shape != (self.dim_y, self.dim_x):
             raise ConfigError(
-                f"array shape {array.shape} does not match image dim {self.dim}"
+                f"array shape {array.shape} does not match image dims "
+                f"{self.dim_x}x{self.dim_y}"
             )
         self.cur[:] = array.astype(np.uint32, copy=False)
 

@@ -89,6 +89,22 @@ class Kernel:
     #: partition-completeness check
     lazy_variants: frozenset[str] = frozenset()
 
+    #: the work domain this kernel needs when the user leaves
+    #: ``--domain`` at its default ("grid"); kernels whose iteration
+    #: space is not the tile grid (wavefront factorizations, 3D
+    #: stencils) set it so plain ``easypap -k <kernel>`` just works.
+    #: An explicit non-grid ``--domain`` always wins.
+    default_domain: str = "grid"
+
+    #: per-variant overrides of ``default_domain`` (e.g. a quadtree
+    #: variant of an otherwise grid kernel)
+    variant_domains: dict[str, str] = {}
+
+    @classmethod
+    def domain_for(cls, variant_name: str) -> str:
+        """The domain kind this kernel/variant pair wants by default."""
+        return cls.variant_domains.get(variant_name, cls.default_domain)
+
     #: variant name -> unbound method, filled by ``__init_subclass__``
     variants: dict[str, Callable]
 

@@ -49,34 +49,54 @@ class Tile:
 
 
 class TileGrid:
-    """All tiles of a square image for a given tile size.
+    """All tiles of a rectangular image for a given tile size.
 
-    Tile sizes need not divide ``dim``: edge tiles are clipped, exactly
-    like EASYPAP handles ``--tile-size`` values that do not divide
-    ``--size``.
+    Tile sizes need not divide the image sides: edge tiles are clipped,
+    exactly like EASYPAP handles ``--tile-size`` values that do not
+    divide ``--size``.  ``dim_y`` defaults to ``dim`` (square images,
+    the EASYPAP norm); a different height yields a ``dim x dim_y``
+    image with independent row/column tile counts.
+
+    A :class:`TileGrid` is also the canonical (dependency-free)
+    :class:`~repro.core.domains.WorkDomain`: items are tiles in
+    collapse(2) order, there are no ordering edges, and the render
+    projection is the image plane itself.
     """
 
-    def __init__(self, dim: int, tile_w: int, tile_h: int | None = None):
+    #: WorkDomain protocol: the domain kind this class implements
+    kind = "grid"
+    #: WorkDomain protocol: grids are 2D (one voxel deep)
+    dim_z = 1
+
+    def __init__(
+        self, dim: int, tile_w: int, tile_h: int | None = None,
+        *, dim_y: int | None = None,
+    ):
         if tile_h is None:
             tile_h = tile_w
-        if dim <= 0:
-            raise ConfigError(f"dim must be positive, got {dim}")
+        if dim_y is None:
+            dim_y = dim
+        if dim <= 0 or dim_y <= 0:
+            raise ConfigError(f"dim must be positive, got {dim}x{dim_y}")
         if tile_w <= 0 or tile_h <= 0:
             raise ConfigError(f"tile size must be positive, got {tile_w}x{tile_h}")
-        if tile_w > dim or tile_h > dim:
+        if tile_w > dim or tile_h > dim_y:
             raise ConfigError(
                 f"tile size {tile_w}x{tile_h} larger than image dim {dim}"
+                + (f"x{dim_y}" if dim_y != dim else "")
             )
-        self.dim = dim
+        self.dim = dim  # x side (legacy name: EASYPAP images are square)
+        self.dim_x = dim
+        self.dim_y = dim_y
         self.tile_w = tile_w
         self.tile_h = tile_h
         self.cols = -(-dim // tile_w)  # ceil division
-        self.rows = -(-dim // tile_h)
+        self.rows = -(-dim_y // tile_h)
         self._tiles: list[Tile] = []
         idx = 0
         for r in range(self.rows):
             y = r * tile_h
-            h = min(tile_h, dim - y)
+            h = min(tile_h, dim_y - y)
             for c in range(self.cols):
                 x = c * tile_w
                 w = min(tile_w, dim - x)
@@ -105,9 +125,19 @@ class TileGrid:
 
     def tile_of_pixel(self, y: int, x: int) -> Tile:
         """The tile containing pixel (y, x)."""
-        if not (0 <= y < self.dim and 0 <= x < self.dim):
+        if not (0 <= y < self.dim_y and 0 <= x < self.dim_x):
             raise ConfigError(f"pixel ({y}, {x}) outside a {self.dim}px image")
         return self.at(y // self.tile_h, x // self.tile_w)
+
+    # -- WorkDomain protocol ---------------------------------------------------
+    def dependencies(self) -> None:
+        """Grids are dependency-free: every tile of a region may run
+        concurrently (``None`` = no ordering edges)."""
+        return None
+
+    def projection(self) -> str:
+        """Render hint: tiles live directly in the image plane."""
+        return "plane"
 
     # -- iteration orders ------------------------------------------------------
     def by_rows(self) -> Iterator[list[Tile]]:
@@ -144,7 +174,7 @@ class TileGrid:
         return out
 
     def tile_reduce(self, array: np.ndarray, op: np.ufunc = np.add) -> np.ndarray:
-        """Per-tile reduction of a ``(dim, dim)`` array → ``(rows, cols)``.
+        """Per-tile reduction of a ``(dim_y, dim_x)`` array → ``(rows, cols)``.
 
         The workhorse of the whole-frame fast path: per-tile work and
         change profiles are recovered from a full-frame array with two
@@ -152,9 +182,9 @@ class TileGrid:
         and boolean reductions are exact, so the recovered values equal
         the per-tile computations bit for bit.
         """
-        if array.shape[:2] != (self.dim, self.dim):
+        if array.shape[:2] != (self.dim_y, self.dim_x):
             raise ConfigError(
-                f"tile_reduce expects a ({self.dim}, {self.dim}) array, "
+                f"tile_reduce expects a ({self.dim_y}, {self.dim_x}) array, "
                 f"got {array.shape}"
             )
         row_starts = np.arange(self.rows) * self.tile_h
@@ -170,7 +200,7 @@ class TileGrid:
         covered = 0
         for t in self._tiles:
             covered += t.area
-        return covered == self.dim * self.dim
+        return covered == self.dim_x * self.dim_y
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -72,6 +72,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--iteration-range", "-r", default=None, metavar="LO:HI")
     p.add_argument("--width", type=int, default=100, help="ASCII Gantt width")
     p.add_argument("--svg", default=None, metavar="PATH", help="write an SVG Gantt")
+    p.add_argument("--tiling-map", default=None, metavar="PATH",
+                   help="write the tiling/coverage map drawn from actual task "
+                   "rectangles (renders irregular domains: quadtree, slabs)")
+    p.add_argument("--wave-gantt", default=None, metavar="PATH",
+                   help="write the wavefront Gantt (tasks colored by "
+                   "topological wave, from recorded dependency edges)")
+    p.add_argument("--divergence-map", default=None, metavar="PATH",
+                   help="write the SIMT divergence heat-map of a GPU trace "
+                   "(per-work-group lockstep counters)")
     p.add_argument("--coverage", type=int, default=None, metavar="CPU",
                    help="print the coverage map of one CPU (horizontal mouse mode)")
     p.add_argument("--chrome", default=None, metavar="PATH",
@@ -129,6 +138,21 @@ def main(argv: list[str] | None = None) -> int:
                 chart = GanttChart(trace, first_it, last_it)
                 out = chart.to_svg().save(args.svg)
                 print(f"\nSVG Gantt written to {out}")
+            if args.tiling_map:
+                from repro.view.domains import tiling_map_svg
+
+                out = tiling_map_svg(trace, first_it).save(args.tiling_map)
+                print(f"tiling map written to {out}")
+            if args.wave_gantt:
+                from repro.view.domains import wavefront_gantt_svg
+
+                out = wavefront_gantt_svg(trace, first_it).save(args.wave_gantt)
+                print(f"wavefront Gantt written to {out}")
+            if args.divergence_map:
+                from repro.view.domains import divergence_map_svg
+
+                out = divergence_map_svg(trace, first_it).save(args.divergence_map)
+                print(f"divergence map written to {out}")
             if args.chrome:
                 from repro.trace.chrome import save_chrome_trace
 

@@ -106,7 +106,7 @@ omp_icv: dict[str, list] = {}
 #: point ran must not change *whether* it ran.
 IDENTITY_COLUMNS = (
     "kernel", "variant", "dim", "tile_w", "tile_h", "iterations",
-    "threads", "schedule", "backend", "arg", "np", "run",
+    "threads", "schedule", "backend", "arg", "np", "domain", "run",
 )
 
 
@@ -163,9 +163,18 @@ def point_key(row: Mapping[str, Any]) -> tuple[str, ...]:
     """Canonical identity of a sweep point from a CSV row or row dict.
 
     Cells are compared as strings so typed reads (``4``) and config
-    values (``"4"``) key identically.
+    values (``"4"``) key identically.  The ``domain`` column joined the
+    identity later than the others; rows from older CSVs (no such
+    column) key as the default ``"grid"``, so resuming a legacy sweep
+    keeps recognizing its completed points.
     """
-    return tuple(str(row.get(c, "")) for c in IDENTITY_COLUMNS)
+    key = []
+    for c in IDENTITY_COLUMNS:
+        v = str(row.get(c, ""))
+        if c == "domain" and v == "":
+            v = "grid"
+        key.append(v)
+    return tuple(key)
 
 
 def sweep_points(

@@ -26,17 +26,20 @@ from repro.core.context import ExecutionContext
 from repro.core.kernel import get_kernel
 from repro.errors import ConfigError
 from repro.sched.costmodel import CostModel
-from repro.sched.dag_sim import simulate_dag
+from repro.sched.dag_sim import dag_policy_makespan, simulate_dag
 from repro.sched.simulator import simulate
 from repro.sched.taskgraph import TaskGraph
 
 __all__ = ["RegionLog", "WorkProfileCache", "replay_log"]
 
 
-#: log entry kinds (first tuple element)
-PAR, SEQ, MASTER, DAG = "par", "seq", "master", "dag"
+#: log entry kinds (first tuple element); "dag" is a FIFO task region
+#: (``task_region``), "dagp" a policy-scheduled dependency-carrying
+#: worksharing region (wavefront domains)
+PAR, SEQ, MASTER, DAG, DAGP = "par", "seq", "master", "dag", "dagp"
 
-RegionLog = list  # list of ("par", works) / ("seq", works) / ("master", w) / ("dag", works, preds)
+RegionLog = list  # list of ("par", works) / ("seq", works) / ("master", w)
+#                   / ("dag", works, preds) / ("dagp", works, preds)
 
 
 def capture_log(config: RunConfig) -> tuple[RegionLog, CostModel]:
@@ -49,6 +52,11 @@ def capture_log(config: RunConfig) -> tuple[RegionLog, CostModel]:
     log: RegionLog = []
     kernel = get_kernel(capture_cfg.kernel)
     compute = kernel.compute_fn(capture_cfg.variant)
+    want = kernel.domain_for(capture_cfg.variant)
+    if want != "grid" and capture_cfg.domain == "grid":
+        # mirror engine.run: kernels with a non-grid iteration space
+        # get their declared domain unless one was forced explicitly
+        capture_cfg = capture_cfg.with_(domain=want)
     ctx = ExecutionContext(capture_cfg)
     ctx.region_log = log
     kernel.init(ctx)
@@ -100,6 +108,13 @@ def replay_log(
                 graph.add_task(None, c, depends_on=preds[i])
             tl = simulate_dag(graph, nthreads, model=model, start_time=vclock)
             vclock = max(tl.makespan, vclock) + model.fork_join_overhead
+        elif kind == DAGP:
+            works, preds = entry[1], entry[2]
+            costs = noisy(model.times_of(works))
+            end = dag_policy_makespan(
+                costs, preds, policy, nthreads, model=model, start_time=vclock
+            )
+            vclock = max(end, vclock) + model.fork_join_overhead
         else:  # pragma: no cover - defensive
             raise ConfigError(f"unknown region log entry {kind!r}")
     return vclock
@@ -109,7 +124,9 @@ def replay_log(
 #: silently ignored (and re-captured), never misread.
 #: 2: the execution tier joined the workload key and schedule-result
 #: memo files appeared alongside the profiles
-CACHE_FORMAT = 2
+#: 3: work domains — the workload key grew (domain, dim_y, dim_z) and
+#: region logs may carry "dagp" entries
+CACHE_FORMAT = 3
 
 
 @dataclass
@@ -172,6 +189,9 @@ class WorkProfileCache:
             config.time_scale,
             config.backend,
             WorkProfileCache.tier_of(config),
+            config.domain,
+            config.dim_y,
+            config.dim_z,
         )
 
     @staticmethod

@@ -72,6 +72,10 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     grid.add_argument("--backend", action="append", default=None,
                       metavar="NAME[,NAME...]",
                       help="execution backend(s) to sweep (sim, threads, procs)")
+    grid.add_argument("--domain", action="append", default=None,
+                      metavar="KIND[,KIND...]",
+                      help="work domain(s) to sweep (grid, wavefront, "
+                      "quadtree, slab3d); rows record the domain column")
 
     runner = p.add_argument_group("runner")
     runner.add_argument("-r", "--runs", type=int, default=1,
@@ -141,6 +145,7 @@ def _grid(args: argparse.Namespace) -> tuple[dict, dict]:
         "iterations": "--iterations ",
         "arg": "--arg ",
         "backend": "--backend ",
+        "domain": "--domain ",
     }
     for attr, flag in flag_of.items():
         occurrences = getattr(args, attr)

@@ -147,6 +147,22 @@ class GpuDevice:
             start_time=start_time + self.spec.launch_overhead + t_in,
             meta=dict(meta or {}, device="gpu"),
         )
+        # per-work-group lockstep-cost counters: every simulated task
+        # carries its lockstep work, useful lane work and divergence
+        # ratio, so the telemetry bus (and any trace recorded from it)
+        # can chart where the SIMT penalty is paid
+        nlanes = group_w * group_h
+        lock_flat = lock.ravel()
+        lane_flat = lane_sum.ravel()
+        for e in result.timeline.execs:
+            i = e.meta.get("index")
+            if i is None:
+                continue
+            ls = float(lock_flat[i]) * nlanes
+            lw = float(lane_flat[i])
+            e.meta["lockstep"] = ls
+            e.meta["lane_work"] = lw
+            e.meta["divergence"] = round(ls / lw, 6) if lw > 0 else 1.0
         return LaunchResult(
             timeline=result.timeline,
             group_costs=costs,

@@ -10,7 +10,9 @@ from repro.kernels import (  # noqa: F401  (import side effect: registration)
     blur,
     connected,
     heat,
+    heat3d,
     life,
+    lu_wavefront,
     mandel,
     sandpile,
     scrollup,
@@ -20,7 +22,9 @@ from repro.kernels import (  # noqa: F401  (import side effect: registration)
 from repro.kernels.blur import BlurKernel
 from repro.kernels.connected import ConnectedKernel
 from repro.kernels.heat import HeatKernel
+from repro.kernels.heat3d import Heat3DKernel
 from repro.kernels.life import LifeKernel
+from repro.kernels.lu_wavefront import LuWavefrontKernel
 from repro.kernels.mandel import MandelKernel
 from repro.kernels.sandpile import SandpileKernel
 from repro.kernels.scrollup import ScrollupKernel
@@ -36,6 +40,8 @@ __all__ = [
     "BlurKernel",
     "ConnectedKernel",
     "HeatKernel",
+    "Heat3DKernel",
+    "LuWavefrontKernel",
     "ScrollupKernel",
     "SpinKernel",
     "LifeKernel",

@@ -252,6 +252,8 @@ class BlurKernel(Kernel):
                 transfer_out_bytes=nbytes,
             )
             ctx.data["transfer_fraction"] = launch.transfer_fraction
+            ctx.bus.counter("gpu_lane_work", launch.total_lane_work)
+            ctx.bus.counter("gpu_lockstep_work", launch.total_lockstep_work)
             ctx.vclock = max(launch.makespan, ctx.vclock) + ctx.model.fork_join_overhead
             ctx.record_timeline(launch.timeline)
             ctx.swap_images()

@@ -1,0 +1,152 @@
+"""3D heat diffusion: a slab-decomposed volumetric Jacobi stencil.
+
+The :class:`~repro.core.domains.Slab3DDomain` workload: a
+``dim_x x dim_y x dim_z`` temperature volume relaxes under the 7-point
+Jacobi operator with fixed-temperature sources; each work item is a
+z-slab of ``tile_h`` planes.  Slabs are independent within one sweep
+(read ``temp3``, write ``next3``), so they flow through the ordinary
+worksharing machinery — what changes is that footprints carry a depth
+extent (the 7-tuple regions of :mod:`repro.core.access`) and traces
+render slabs as x/z bands.
+
+Datasets (``--arg``): ``core`` (a hot cube in the volume center, the
+default), ``plate`` (a hot z=0 face).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domains import Slab
+from repro.core.kernel import Kernel, register_kernel, variant
+
+__all__ = ["Heat3DKernel", "jacobi3d_slab"]
+
+CELL_WORK = 10.0
+TOLERANCE = 1e-4
+
+
+def jacobi3d_slab(
+    temp: np.ndarray,
+    nxt: np.ndarray,
+    sources: np.ndarray,
+    z0: int,
+    d: int,
+) -> float:
+    """One Jacobi sweep over planes ``[z0, z0+d)``; returns max |update|.
+
+    Borders replicate their boundary neighbour (insulated volume);
+    source voxels keep their fixed temperature.  The neighbour sum is a
+    single left-to-right expression, so per-slab results equal a
+    whole-volume sweep bit for bit regardless of slab decomposition.
+    """
+    Z = temp.shape[0]
+    zs = np.arange(z0, z0 + d)
+    cur = temp[z0 : z0 + d]
+    zm = temp[np.maximum(zs - 1, 0)]
+    zp = temp[np.minimum(zs + 1, Z - 1)]
+    ym = cur[:, np.maximum(np.arange(cur.shape[1]) - 1, 0), :]
+    yp = cur[:, np.minimum(np.arange(cur.shape[1]) + 1, cur.shape[1] - 1), :]
+    xm = cur[:, :, np.maximum(np.arange(cur.shape[2]) - 1, 0)]
+    xp = cur[:, :, np.minimum(np.arange(cur.shape[2]) + 1, cur.shape[2] - 1)]
+    new = (zm + zp + ym + yp + xm + xp) / 6.0
+    src = sources[z0 : z0 + d]
+    new = np.where(np.isnan(src), new, src)
+    nxt[z0 : z0 + d] = new
+    return float(np.abs(new - cur).max()) if new.size else 0.0
+
+
+def _make_volume(
+    name: str, dim_x: int, dim_y: int, dim_z: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial temperatures + source map (NaN = free voxel)."""
+    temp = np.zeros((dim_z, dim_y, dim_x), dtype=np.float64)
+    sources = np.full((dim_z, dim_y, dim_x), np.nan)
+    name = (name or "core").lower()
+    if name == "core":
+        kx = max(dim_x // 8, 1)
+        ky = max(dim_y // 8, 1)
+        kz = max(dim_z // 8, 1)
+        x0, y0, z0 = (dim_x - kx) // 2, (dim_y - ky) // 2, (dim_z - kz) // 2
+        sources[z0 : z0 + kz, y0 : y0 + ky, x0 : x0 + kx] = 1.0
+    elif name == "plate":
+        sources[0, :, :] = 1.0
+    else:
+        raise ValueError(f"unknown heat3d dataset {name!r}")
+    temp[~np.isnan(sources)] = sources[~np.isnan(sources)]
+    return temp, sources
+
+
+@register_kernel
+class Heat3DKernel(Kernel):
+    """Kernel ``heat3d`` with variants seq / omp_tiled."""
+
+    name = "heat3d"
+    default_domain = "slab3d"
+
+    def init(self, ctx) -> None:
+        temp, sources = _make_volume(
+            ctx.arg or "core", ctx.dim_x, ctx.dim_y, ctx.dim_z
+        )
+        ctx.data["temp3"] = temp
+        ctx.data["next3"] = temp.copy()
+        ctx.data["sources3"] = sources
+
+    def refresh_img(self, ctx) -> None:
+        """Render the mid-depth plane (the standard volume inspection cut)."""
+        temp = ctx.data.get("temp3")
+        if temp is None:
+            return
+        t = np.clip(temp[temp.shape[0] // 2], 0.0, 1.0)
+        r = (255 * t).astype(np.uint32)
+        b = (255 * (1.0 - t)).astype(np.uint32)
+        ctx.img.cur[:] = (r << 24) | (b << 8) | np.uint32(0xFF)
+
+    def do_slab(self, ctx, slab: Slab) -> tuple[float, float]:
+        """Slab body in reduction style: returns (work, local max delta)."""
+        Z = ctx.dim_z
+        hz0 = max(slab.z0 - 1, 0)
+        hd = min(slab.z0 + slab.d + 1, Z) - hz0
+        ctx.declare_access(
+            reads=[
+                ("temp3", 0, 0, ctx.dim_x, ctx.dim_y, hz0, hd),
+                ("sources3", 0, 0, ctx.dim_x, ctx.dim_y, slab.z0, slab.d),
+            ],
+            writes=[("next3", 0, 0, ctx.dim_x, ctx.dim_y, slab.z0, slab.d)],
+        )
+        delta = jacobi3d_slab(
+            ctx.data["temp3"], ctx.data["next3"], ctx.data["sources3"],
+            slab.z0, slab.d,
+        )
+        return slab.d * ctx.dim_y * ctx.dim_x * CELL_WORK, delta
+
+    def do_slab_fold(self, ctx, slab: Slab) -> float:
+        work, delta = self.do_slab(ctx, slab)
+        ctx.data["max_delta"] = max(ctx.data["max_delta"], delta)
+        return work
+
+    def _end_iter(self, ctx) -> bool:
+        ctx.data["temp3"], ctx.data["next3"] = ctx.data["next3"], ctx.data["temp3"]
+        return ctx.data["max_delta"] > TOLERANCE
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        for it in ctx.iterations(nb_iter):
+            ctx.data["max_delta"] = 0.0
+            ctx.sequential_for(ctx.body(self.do_slab_fold))
+            if not self._end_iter(ctx):
+                return it
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        """Parallel sweep over slabs, convergence as a max-reduction."""
+        for it in ctx.iterations(nb_iter):
+            _, max_delta = ctx.parallel_reduce(
+                ctx.body(self.do_slab), combine=max, init=0.0,
+            )
+            ctx.data["max_delta"] = max_delta
+            converged = not ctx.run_on_master(lambda: self._end_iter(ctx))
+            if converged:
+                return it
+        return 0

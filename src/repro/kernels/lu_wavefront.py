@@ -1,0 +1,172 @@
+"""Blocked LU factorization: the wavefront-DAG workload.
+
+The first kernel whose iteration space is *not* the tile grid: a
+``dim x dim`` matrix is factorized in place by blocked right-looking
+LU elimination (unpivoted — the matrix is made strictly diagonally
+dominant, so every pivot is safe), and each block operation is one
+item of a :class:`~repro.core.domains.WavefrontDomain` whose edges
+encode the data flow between elimination steps.
+
+This is the workload ROADMAP's "scenario diversity" item asks for:
+dependency waves make ``static`` scheduling *visibly* lose — a
+statically assigned CPU idles whenever its next block's predecessors
+are still in flight, while ``dynamic``/stealing keep pulling whatever
+became ready.  Compare::
+
+    easypap -k lu_wavefront -v omp_tiled --schedule static -t
+    easypap -k lu_wavefront -v omp_tiled --schedule dynamic -t
+
+Block bodies run through plain NumPy loops over pivots — identical
+float operations in identical order on every backend, so sim, threads
+and procs produce bit-identical factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domains import WaveTask
+from repro.core.kernel import Kernel, register_kernel, variant
+
+__all__ = ["LuWavefrontKernel", "lu_diag", "trsm_row", "trsm_col", "gemm_trail"]
+
+
+def lu_diag(a: np.ndarray) -> None:
+    """Unpivoted in-place LU of a square block: L (unit lower) and U
+    share the storage, multipliers below the diagonal."""
+    n = a.shape[0]
+    for p in range(n - 1):
+        a[p + 1 :, p] /= a[p, p]
+        a[p + 1 :, p + 1 :] -= np.outer(a[p + 1 :, p], a[p, p + 1 :])
+
+
+def trsm_row(lkk: np.ndarray, b: np.ndarray) -> None:
+    """Solve ``L_kk X = B`` in place (unit lower triangular forward
+    substitution) — the row-panel update ``U_kj``."""
+    n = lkk.shape[0]
+    for p in range(n - 1):
+        b[p + 1 :, :] -= np.outer(lkk[p + 1 :, p], b[p, :])
+
+
+def trsm_col(ukk: np.ndarray, b: np.ndarray) -> None:
+    """Solve ``X U_kk = B`` in place (upper triangular back
+    substitution on columns) — the column-panel update ``L_ik``."""
+    n = ukk.shape[0]
+    for p in range(n):
+        b[:, p] /= ukk[p, p]
+        if p + 1 < n:
+            b[:, p + 1 :] -= np.outer(b[:, p], ukk[p, p + 1 :])
+
+
+def gemm_trail(aik: np.ndarray, akj: np.ndarray, aij: np.ndarray) -> None:
+    """Trailing update ``A_ij -= A_ik @ A_kj``."""
+    aij -= aik @ akj
+
+
+@register_kernel
+class LuWavefrontKernel(Kernel):
+    """Kernel ``lu_wavefront`` with variants seq / omp_tiled."""
+
+    name = "lu_wavefront"
+    default_domain = "wavefront"
+
+    def init(self, ctx) -> None:
+        rng = ctx.rng
+        n = ctx.dim
+        mat = rng.standard_normal((n, n))
+        # strict diagonal dominance: unpivoted elimination stays stable
+        mat[np.arange(n), np.arange(n)] = np.abs(mat).sum(axis=1) + 1.0
+        ctx.data["mat"] = mat
+        ctx.data["mat0"] = mat.copy()
+
+    def refresh_img(self, ctx) -> None:
+        mat = ctx.data.get("mat")
+        if mat is None:
+            return
+        mag = np.log1p(np.abs(mat))
+        top = float(mag.max()) or 1.0
+        v = (255.0 * mag / top).astype(np.uint32)
+        ctx.img.cur[:] = (v << 24) | (v << 16) | (v << 8) | np.uint32(0xFF)
+
+    def _reset(self, ctx) -> None:
+        ctx.data["mat"][:] = ctx.data["mat0"]
+
+    def do_block(self, ctx, task: WaveTask) -> float:
+        """One block operation; returns its flop count as work units.
+
+        The heterogeneous costs (cubic diag, quadratic panels, gemm
+        trail) are what give the wavefront its characteristic Gantt
+        shape — waves thin out as the trailing matrix shrinks.
+        """
+        mat = ctx.data["mat"]
+        dom = ctx.domain
+        k = task.step
+        kx, ky, kw, kh = dom.block_rect(k, k)
+        x, y, w, h = task.x, task.y, task.w, task.h
+        blk = mat[y : y + h, x : x + w]
+        if task.op == "diag":
+            ctx.declare_access(
+                reads=[("mat", x, y, w, h)], writes=[("mat", x, y, w, h)]
+            )
+            lu_diag(blk)
+            return (h * h * h) / 3.0
+        diag = mat[ky : ky + kh, kx : kx + kw]
+        if task.op == "row":
+            ctx.declare_access(
+                reads=[("mat", kx, ky, kw, kh), ("mat", x, y, w, h)],
+                writes=[("mat", x, y, w, h)],
+            )
+            trsm_row(diag, blk)
+            return float(h * h * w)
+        if task.op == "col":
+            ctx.declare_access(
+                reads=[("mat", kx, ky, kw, kh), ("mat", x, y, w, h)],
+                writes=[("mat", x, y, w, h)],
+            )
+            trsm_col(diag, blk)
+            return float(h * w * w)
+        # trail: A_ij -= A_ik @ A_kj
+        ix, iy, iw, ih = dom.block_rect(task.row, k)
+        jx, jy, jw, jh = dom.block_rect(k, task.col)
+        ctx.declare_access(
+            reads=[
+                ("mat", ix, iy, iw, ih),
+                ("mat", jx, jy, jw, jh),
+                ("mat", x, y, w, h),
+            ],
+            writes=[("mat", x, y, w, h)],
+        )
+        gemm_trail(mat[iy : iy + ih, ix : ix + iw], mat[jy : jy + jh, jx : jx + jw], blk)
+        return float(2 * h * w * iw)
+
+    @variant("seq")
+    def compute_seq(self, ctx, nb_iter: int) -> int:
+        for _ in ctx.iterations(nb_iter):
+            ctx.run_on_master(lambda: self._reset(ctx))
+            ctx.sequential_for(ctx.body(self.do_block))
+        return 0
+
+    @variant("omp_tiled")
+    def compute_omp_tiled(self, ctx, nb_iter: int) -> int:
+        """Worksharing over the wavefront domain: ``parallel_for`` sees
+        the dependency edges and schedules the region as a policy-aware
+        DAG (see :func:`repro.omp.parallel._dag_for`)."""
+        for _ in ctx.iterations(nb_iter):
+            ctx.run_on_master(lambda: self._reset(ctx))
+            ctx.parallel_for(ctx.body(self.do_block))
+        return 0
+
+    def finalize(self, ctx) -> None:
+        # cheap internal consistency check: L @ U must reconstruct the
+        # original matrix (dominance keeps the residual tiny)
+        mat = ctx.data.get("mat")
+        if mat is None or ctx.dim > 512:
+            return
+        lower = np.tril(mat, -1) + np.eye(ctx.dim)
+        upper = np.triu(mat)
+        residual = np.abs(lower @ upper - ctx.data["mat0"]).max()
+        scale = np.abs(ctx.data["mat0"]).max()
+        if residual > 1e-8 * max(scale, 1.0):
+            raise AssertionError(
+                f"LU factorization residual {residual:.3e} too large"
+            )

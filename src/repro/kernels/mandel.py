@@ -349,7 +349,7 @@ class MandelKernel(Kernel):
         loop iterations; a pixel that never escapes for ``max_iter``.
         """
         max_iter = ctx.data["max_iter"]
-        cr, ci = self._coords(ctx, 0, 0, ctx.dim, ctx.dim)
+        cr, ci = self._coords(ctx, 0, 0, ctx.dim, ctx.dim_y)
         counts = mandel_counts_frame(cr, ci, max_iter, julia_c=ctx.data.get("julia_c"))
         if max_iter <= 1 << 16:
             # counts take at most max_iter + 1 distinct values: render the
@@ -358,7 +358,7 @@ class MandelKernel(Kernel):
             ramp = _ramp(np.arange(max_iter + 1), max_iter)[counts]
         else:
             ramp = _ramp(counts, max_iter)
-        ctx.img.cur_view(0, 0, ctx.dim, ctx.dim, mode="w")[:] = ramp
+        ctx.img.cur_view(0, 0, ctx.dim_y, ctx.dim, mode="w")[:] = ramp
         return counts.astype(np.int64) + (counts < max_iter)
 
     def compute_frame(self, ctx, tiles) -> np.ndarray | None:
@@ -370,7 +370,7 @@ class MandelKernel(Kernel):
 
     def compute_frame_rows(self, ctx, rows) -> np.ndarray | None:
         """Whole-frame batch execution over pixel rows (seq/omp variants)."""
-        if len(rows) != ctx.dim:
+        if len(rows) != ctx.dim_y:
             return None
         per_row = self._frame_contrib(ctx).sum(axis=1)
         return per_row[np.asarray(rows, dtype=np.intp)].astype(np.float64)
@@ -391,7 +391,7 @@ class MandelKernel(Kernel):
     @variant("seq")
     def compute_seq(self, ctx, nb_iter: int) -> int:
         """Whole-image scan, one virtual task per pixel row (Fig. 1)."""
-        rows = list(range(ctx.dim))
+        rows = list(range(ctx.dim_y))
         for _ in ctx.iterations(nb_iter):
             ctx.sequential_for(
                 lambda row: self._do_row(ctx, row), rows, kind="row",
@@ -418,7 +418,7 @@ class MandelKernel(Kernel):
     @variant("omp")
     def compute_omp(self, ctx, nb_iter: int) -> int:
         """``#pragma omp parallel for`` over image lines (§II-A)."""
-        rows = list(range(ctx.dim))
+        rows = list(range(ctx.dim_y))
         for _ in ctx.iterations(nb_iter):
             ctx.parallel_for(
                 ctx.body(self._do_row), rows, kind="row",
@@ -463,6 +463,8 @@ class MandelKernel(Kernel):
             )
             ctx.data["transfer_fraction"] = launch.transfer_fraction
             ctx.data["divergence"] = launch.divergence_penalty
+            ctx.bus.counter("gpu_lane_work", launch.total_lane_work)
+            ctx.bus.counter("gpu_lockstep_work", launch.total_lockstep_work)
             ctx.vclock = max(launch.makespan, ctx.vclock) + ctx.model.fork_join_overhead
             ctx.record_timeline(launch.timeline)
             self.zoom(ctx)

@@ -59,6 +59,9 @@ class SandpileKernel(Kernel):
     """Kernel ``sandpile`` with variants seq / omp_tiled."""
 
     name = "sandpile"
+    #: the quadtree variant iterates a center-refined adaptive tiling
+    #: (small tiles over the active center pile, big tiles elsewhere)
+    variant_domains = {"omp_quadtree": "quadtree"}
 
     def init(self, ctx) -> None:
         dataset = (ctx.arg or "uniform5").lower()
@@ -120,6 +123,21 @@ class SandpileKernel(Kernel):
         for it in ctx.iterations(nb_iter):
             ctx.data["changed"] = False
             ctx.parallel_for(ctx.body(self.do_tile), frame=self.compute_frame)
+            stable = not ctx.run_on_master(lambda: self._end_iter(ctx))
+            if stable:
+                return it
+        return 0
+
+    @variant("omp_quadtree")
+    def compute_omp_quadtree(self, ctx, nb_iter: int) -> int:
+        """Same toppling bodies over the adaptive quadtree tiling: the
+        default item list *is* the refined domain, and because the tiles
+        still partition the image exactly, the result is bit-identical
+        to ``omp_tiled`` — only the schedule's load profile changes
+        (finer grains where the dataset is active)."""
+        for it in ctx.iterations(nb_iter):
+            ctx.data["changed"] = False
+            ctx.parallel_for(ctx.body(self.do_tile))
             stable = not ctx.run_on_master(lambda: self._end_iter(ctx))
             if stable:
                 return it

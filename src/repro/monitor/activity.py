@@ -58,7 +58,14 @@ class Monitor:
             if 0 <= e.cpu < self.ncpus:
                 busy[e.cpu] += e.duration
             item = e.item
-            if isinstance(item, Tile) and rows and cols:
+            # irregular domains (quadtree refinements, wavefront tasks)
+            # map several items onto one coarse cell, or none at all;
+            # out-of-grid coordinates are simply not charted
+            if (
+                isinstance(item, Tile)
+                and 0 <= item.row < rows
+                and 0 <= item.col < cols
+            ):
                 tiling[item.row, item.col] = e.cpu
                 heat[item.row, item.col] += e.duration
                 if e.meta.get("stolen"):

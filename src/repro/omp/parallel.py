@@ -45,6 +45,7 @@ from repro.sched.policies import (
     StaticSchedule,
     parse_schedule,
 )
+from repro.sched.dag_sim import simulate_dag_policy
 from repro.sched.simulator import SimResult, simulate, simulate_makespan
 from repro.sched.timeline import TaskExec, Timeline
 
@@ -79,9 +80,20 @@ def parallel_for(
 
     Returns the :class:`SimResult` for the region; the context's clock
     advances past the simulated makespan + fork/join overhead.
+
+    When ``items`` is omitted and the context's work domain carries
+    dependency edges (wavefront domains), the region is scheduled as a
+    policy-aware DAG instead of an independent loop — see
+    :func:`_dag_for`.  Explicit item lists (subsets, reordered items)
+    always take the independent-loop path, since domain edges are
+    defined on whole-domain enumeration order.
     """
-    items = list(ctx.grid) if items is None else list(items)
+    whole_domain = items is None
+    items = list(ctx.domain) if items is None else list(items)
     policy = _resolve_policy(ctx, schedule)
+    deps = ctx.domain.dependencies() if whole_domain else None
+    if deps is not None:
+        return _dag_for(ctx, body, items, deps, policy, kind)
     meta = {"iteration": ctx.iteration, "kind": kind}
     if ctx.backend == "threads":
         meta.update(region=ctx.next_region(), rmode="par")
@@ -117,6 +129,36 @@ def parallel_for(
         ctx.bus.counter("steals", result.steals)
     ctx.record_timeline(result.timeline, footprints=footprints)
     return result
+
+
+def _dag_for(ctx, body, items, deps, policy: SchedulePolicy, kind: str) -> SimResult:
+    """One worksharing region over a dependency-carrying domain.
+
+    Bodies execute immediately and sequentially in enumeration order —
+    a valid topological order by the :class:`WorkDomain` contract — on
+    *every* backend, exactly like ``task_region`` bodies do: that is
+    what makes wavefront results bit-identical across sim/threads/procs.
+    The timeline comes from the policy-aware DAG simulator, which is
+    where ``static`` visibly loses to the dynamic family.
+    """
+    works, footprints = _measure(ctx, body, items)
+    if ctx.region_log is not None:
+        ctx.region_log.append(("dagp", works, [list(p) for p in deps]))
+    costs = ctx.perturb_costs(ctx.model.times_of(works))
+    meta = {
+        "iteration": ctx.iteration,
+        "kind": kind,
+        "region": ctx.next_region(),
+        "rmode": "dag",
+    }
+    timeline = simulate_dag_policy(
+        costs, deps, policy, ctx.nthreads,
+        items=items, model=ctx.model, start_time=ctx.vclock, meta=meta,
+    )
+    end = max(timeline.makespan, ctx.vclock)
+    ctx.vclock = end + ctx.model.fork_join_overhead
+    ctx.record_timeline(timeline, footprints=footprints)
+    return SimResult(timeline)
 
 
 def _fast_region(ctx, works: np.ndarray, policy: SchedulePolicy) -> SimResult:
@@ -174,7 +216,22 @@ def parallel_reduce(
     OpenMP that mutation needs ``atomic``/``critical``; here the
     reduction expresses the intent.
     """
-    items = list(ctx.grid) if items is None else list(items)
+    whole_domain = items is None
+    items = list(ctx.domain) if items is None else list(items)
+    deps = ctx.domain.dependencies() if whole_domain else None
+    if deps is not None:
+        # dependency-carrying domain: fold sequentially in enumeration
+        # order (deterministic), schedule as a policy-aware DAG
+        acc = init
+
+        def body_dag(item):
+            nonlocal acc
+            work, value = body(item)
+            acc = combine(acc, value)
+            return work
+
+        res = _dag_for(ctx, body_dag, items, deps, _resolve_policy(ctx, schedule), kind)
+        return res, acc
     if ctx.backend == "procs":
         from repro.omp.procs import procs_parallel_reduce
 

@@ -430,6 +430,7 @@ def _worker_setup(state: dict, setup: dict) -> None:
         kernel=get_kernel(cfg.kernel),
         img_names=tuple(setup["img_names"]),
         dim=setup["dim"],
+        dim_y=setup.get("dim_y") or setup["dim"],
     )
 
 
@@ -474,11 +475,11 @@ def _worker_region(state: dict, lock, ctrl, rank: int, nworkers: int, r: dict) -
 
     ctx = state["ctx"]
     ctx.iteration = r["iteration"]
-    dim = state["dim"]
+    shape = (state["dim_y"], state["dim"])
     a, b = state["img_names"]
     cur_name, nxt_name = (a, b) if r["img_parity"] == 0 else (b, a)
-    ctx.img.cur = _worker_view(state, cur_name, (dim, dim), np.uint32)
-    ctx.img.nxt = _worker_view(state, nxt_name, (dim, dim), np.uint32)
+    ctx.img.cur = _worker_view(state, cur_name, shape, np.uint32)
+    ctx.img.nxt = _worker_view(state, nxt_name, shape, np.uint32)
 
     data = _TrackingDict()
     for k, (name, shape, dt) in r["arrays"].items():
@@ -549,12 +550,14 @@ def _worker_region(state: dict, lock, ctrl, rank: int, nworkers: int, r: dict) -
                     (KIND_FP_READ, fp.reads),
                     (KIND_FP_WRITE, fp.writes),
                 ):
-                    for buf, x, y, w, h in regions:
+                    for reg in regions:
+                        buf, x, y, w, h = reg[:5]
+                        z, depth = (reg[5], reg[6]) if len(reg) >= 7 else (0, 1)
                         bid = buf_ids.get(buf)
                         if bid is None:
                             bid = buf_ids[buf] = len(bufs)
                             bufs.append(buf)
-                        ring.emit(kind, pos, bid, x, y, w, h)
+                        ring.emit(kind, pos, bid, x, y, w, h, z, depth)
             else:
                 s = perf()
                 ret = method(ctx, item)
@@ -866,6 +869,7 @@ class ProcPool:
             "config": asdict(ctx.config),
             "img_names": list(ctx.img_blocks),
             "dim": ctx.dim,
+            "dim_y": ctx.dim_y,
             "kernel_files": loaded_kernel_files(),
         }
         self.epoch += 1
@@ -1000,6 +1004,9 @@ class ProcPool:
                         bufs[bid] if 0 <= bid < len(bufs) else "?",
                         int(rec[4]), int(rec[5]), int(rec[6]), int(rec[7]),
                     )
+                    z, depth = int(rec[8]), int(rec[9])
+                    if (z, depth) != (0, 1):
+                        region += (z, depth)
                     sink = fp_reads if kind == KIND_FP_READ else fp_writes
                     sink.setdefault(pos, []).append(region)
             if reduce:

@@ -4,18 +4,31 @@ This is the runtime model behind ``#pragma omp task``: ready tasks are
 assigned to idle threads in FIFO submission order.  The resulting
 timeline lets EASYVIEW show the diagonal *wave* of connected-components
 tasks sweeping the image (paper Fig. 12).
+
+:func:`simulate_dag_policy` extends the model to *worksharing over a
+dependency-carrying domain* (wavefront :class:`~repro.core.domains.WorkDomain`
+regions): the same per-item loop a schedule policy would chunk, except
+items must additionally wait for their predecessors.  ``static``
+policies keep their fixed CPU assignment — a CPU simply idles until its
+next item's predecessors finish, which is exactly where static loses to
+the dynamic family on wavefront DAGs.  The dynamic/guided/stealing
+policies all collapse to greedy FIFO list scheduling (a central ready
+queue *is* what makes them dynamic; chunking is moot when readiness,
+not contiguity, gates execution).
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import Any, Sequence
 
 from repro.errors import SimulationError
 from repro.sched.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sched.policies import SchedulePolicy, StaticSchedule
 from repro.sched.taskgraph import TaskGraph
 from repro.sched.timeline import TaskExec, Timeline
 
-__all__ = ["simulate_dag"]
+__all__ = ["simulate_dag", "simulate_dag_policy", "dag_policy_makespan"]
 
 
 def simulate_dag(
@@ -79,3 +92,158 @@ def simulate_dag(
             f"scheduled {scheduled}/{n} tasks — graph has a cycle?"
         )
     return timeline
+
+
+def _schedule_policy(
+    costs: Sequence[float],
+    preds: Sequence[Sequence[int]],
+    policy: SchedulePolicy,
+    ncpus: int,
+    model: CostModel,
+    start_time: float,
+) -> list[tuple[int, float, float]]:
+    """Per-task ``(cpu, start, finish)`` of policy-aware DAG scheduling.
+
+    ``preds[i]`` must only name lower indices (enumeration order is a
+    topological order — the :class:`~repro.core.domains.WorkDomain`
+    contract), which is what makes the single forward pass below exact.
+    """
+    n = len(costs)
+    if ncpus < 1:
+        raise SimulationError(f"need at least one cpu, got {ncpus}")
+    if len(preds) != n:
+        raise SimulationError(f"{len(preds)} pred lists for {n} costs")
+    out: list[tuple[int, float, float]] = [(0, start_time, start_time)] * n
+    if n == 0:
+        return out
+    d = model.dispatch_overhead
+    finish = [0.0] * n
+
+    if isinstance(policy, StaticSchedule):
+        # fixed assignment: each CPU runs its chunks in order, paying
+        # the dispatch once per chunk and *idling* until the next
+        # item's predecessors finish.  One pass in increasing global
+        # index is exact: preds and same-CPU predecessors in program
+        # order both have lower indices.
+        cpu_of = [0] * n
+        chunk_head = [False] * n
+        for cpu, chunks in enumerate(policy.assignment(n, ncpus)):
+            for chunk in chunks:
+                first = True
+                for idx in chunk.indices():
+                    if idx < 0 or idx >= n:
+                        raise SimulationError(f"task index {idx} out of range")
+                    cpu_of[idx] = cpu
+                    chunk_head[idx] = first
+                    first = False
+        free = [start_time] * ncpus
+        for i in range(n):
+            for p in preds[i]:
+                if not 0 <= p < i:
+                    raise SimulationError(
+                        f"pred {p} of task {i} violates topological order"
+                    )
+            cpu = cpu_of[i]
+            t0 = free[cpu] + (d if chunk_head[i] else 0.0)
+            for p in preds[i]:
+                if finish[p] > t0:
+                    t0 = finish[p]
+            t1 = t0 + costs[i]
+            finish[i] = t1
+            free[cpu] = t1
+            out[i] = (cpu, t0, t1)
+        return out
+
+    # dynamic family (dynamic/guided/nonmonotonic): greedy FIFO list
+    # scheduling off a central ready queue, one dispatch per task
+    nsuccs: list[list[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for i, ps in enumerate(preds):
+        for p in ps:
+            if not 0 <= p < i:
+                raise SimulationError(
+                    f"pred {p} of task {i} violates topological order"
+                )
+            nsuccs[p].append(i)
+            indeg[i] += 1
+    ready: list[tuple[float, int]] = [
+        (start_time, i) for i in range(n) if indeg[i] == 0
+    ]
+    heapq.heapify(ready)
+    cpus: list[tuple[float, int]] = [(start_time, c) for c in range(ncpus)]
+    heapq.heapify(cpus)
+    scheduled = 0
+    while ready:
+        rel, i = heapq.heappop(ready)
+        free_t, cpu = heapq.heappop(cpus)
+        t0 = max(rel, free_t) + d
+        t1 = t0 + costs[i]
+        finish[i] = t1
+        out[i] = (cpu, t0, t1)
+        heapq.heappush(cpus, (t1, cpu))
+        scheduled += 1
+        for s in nsuccs[i]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                release = max(finish[p] for p in preds[s])
+                heapq.heappush(ready, (release, s))
+    if scheduled != n:
+        raise SimulationError(
+            f"scheduled {scheduled}/{n} tasks — graph has a cycle?"
+        )
+    return out
+
+
+def simulate_dag_policy(
+    costs: Sequence[float],
+    preds: Sequence[Sequence[int]],
+    policy: SchedulePolicy,
+    ncpus: int,
+    *,
+    items: Sequence[Any] | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    start_time: float = 0.0,
+    meta: dict | None = None,
+) -> Timeline:
+    """Timeline of a schedule policy driving a dependency-carrying region.
+
+    Same invariants as :func:`simulate_dag` (no task before its preds,
+    one task per CPU at a time) plus policy semantics: ``static`` keeps
+    its fixed chunk assignment (idling on unmet dependencies), the
+    dynamic family greedily dispatches whatever is ready.
+    """
+    slots = _schedule_policy(costs, preds, policy, ncpus, model, start_time)
+    if items is None:
+        items = list(range(len(costs)))
+    elif len(items) != len(costs):
+        raise SimulationError(f"{len(items)} items for {len(costs)} costs")
+    base_meta = dict(meta or {})
+    timeline = Timeline(ncpus=ncpus)
+    for i, (cpu, t0, t1) in enumerate(slots):
+        m = dict(base_meta)
+        m["index"] = i
+        m["tid"] = i
+        m["preds"] = sorted(preds[i])
+        timeline.append(TaskExec(items[i], cpu, t0, t1, m))
+    return timeline
+
+
+def dag_policy_makespan(
+    costs: Sequence[float],
+    preds: Sequence[Sequence[int]],
+    policy: SchedulePolicy,
+    ncpus: int,
+    *,
+    model: CostModel = DEFAULT_COST_MODEL,
+    start_time: float = 0.0,
+) -> float:
+    """Makespan of :func:`simulate_dag_policy` without the timeline.
+
+    Runs the identical forward pass (same float operations in the same
+    order), so the value is bit-identical — the replay memo and the
+    perf path lean on that equality.
+    """
+    slots = _schedule_policy(costs, preds, policy, ncpus, model, start_time)
+    if not slots:
+        return 0.0
+    return max(t1 for _, _, t1 in slots)

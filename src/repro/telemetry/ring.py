@@ -12,14 +12,17 @@ loss is bounded, observable, and never a deadlock.
 
 The functions here operate on plain numpy arrays; the procs pool maps
 them onto POSIX shared memory, and the in-process tests map them onto
-ordinary arrays.  Record layout (8 float64 lanes)::
+ordinary arrays.  Record layout (10 float64 lanes)::
 
-    [kind, seq, f0, f1, f2, f3, f4, f5]
+    [kind, seq, f0, f1, f2, f3, f4, f5, f6, f7]
 
     kind EXEC      f0=pos   f1=start  f2=end     (wall-clock, region-relative)
-    kind FP_READ   f0=pos   f1=buf_id f2=x f3=y f4=w f5=h
-    kind FP_WRITE  f0=pos   f1=buf_id f2=x f3=y f4=w f5=h
+    kind FP_READ   f0=pos   f1=buf_id f2=x f3=y f4=w f5=h f6=z f7=d
+    kind FP_WRITE  f0=pos   f1=buf_id f2=x f3=y f4=w f5=h f6=z f7=d
     kind COUNTER   f0=counter_id  f1=delta       (bus CounterEvent deltas)
+
+``(z, d)`` is the optional depth extent of 3D footprint regions (see
+:mod:`repro.core.access`); 2D regions ship the ``(0, 1)`` default.
 
 ``pos`` is the per-region task index; ``buf_id`` indexes a per-worker
 string-interning table shipped back over the worker's result pipe
@@ -45,7 +48,7 @@ __all__ = [
     "drain_lane",
 ]
 
-RECORD_WIDTH = 8
+RECORD_WIDTH = 10
 KIND_EXEC = 1
 KIND_FP_READ = 2
 KIND_FP_WRITE = 3
@@ -94,6 +97,8 @@ class RingWriter:
         f3: float = 0.0,
         f4: float = 0.0,
         f5: float = 0.0,
+        f6: float = 0.0,
+        f7: float = 0.0,
     ) -> None:
         count = self._count
         slot = self._payload[count % self._cap]
@@ -105,6 +110,8 @@ class RingWriter:
         slot[5] = f3
         slot[6] = f4
         slot[7] = f5
+        slot[8] = f6
+        slot[9] = f7
         self._count = count + 1
         self._header[self._worker] = self._count  # publish after the payload
 

@@ -83,9 +83,11 @@ class TraceEvent:
 
 
 def _regions(raw) -> tuple:
-    """Normalize serialized footprint regions to ``(buf, x, y, w, h)`` tuples."""
+    """Normalize serialized footprint regions to ``(buf, x, y, w, h)``
+    tuples, preserving the optional ``(z, d)`` depth extent of 3D
+    regions (see :mod:`repro.core.access`)."""
     return tuple(
-        (str(r[0]), int(r[1]), int(r[2]), int(r[3]), int(r[4])) for r in raw
+        (str(r[0]),) + tuple(int(v) for v in r[1:7]) for r in raw
     )
 
 

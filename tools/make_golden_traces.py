@@ -47,6 +47,12 @@ GOLDEN_CONFIGS: dict[str, dict] = {
         kernel="blur", variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
         iterations=2, nthreads=3, schedule="nonmonotonic:dynamic", trace=True,
     ),
+    # the wavefront-DAG region: pins the policy-aware DAG simulator's
+    # event times and the recorded dependency metadata (tid/preds)
+    "lu_wavefront_dynamic": dict(
+        kernel="lu_wavefront", variant="omp_tiled", dim=32, tile_w=8, tile_h=8,
+        iterations=1, nthreads=3, schedule="dynamic", trace=True,
+    ),
 }
 
 
